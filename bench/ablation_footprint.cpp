@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation study of the Footprint design choices called out in
+ * DESIGN.md:
+ *  - Step-3 variant: literal Algorithm-1 vs always-wait vs the
+ *    convergence-gated default (Sec. 3.2's prose vs pseudo-code);
+ *  - congestion threshold (paper fixes it at V/2);
+ *  - footprint-VC cap (the paper's Sec. 4.2.5 future-work isolation
+ *    knob, 0 = unlimited as evaluated).
+ * Each row reports background latency under the Fig. 9 hotspot load
+ * and average latency under transpose (network congestion), the two
+ * regimes the design must balance.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace footprint;
+using namespace footprint::bench;
+
+double
+hotspotLatency(SimConfig cfg)
+{
+    cfg.set("traffic", "hotspot");
+    cfg.setDouble("injection_rate", 0.44);
+    cfg.setDouble("background_rate", 0.30);
+    return runExperiment(cfg).avgLatency();
+}
+
+double
+transposeLatency(SimConfig cfg)
+{
+    cfg.set("traffic", "transpose");
+    cfg.setDouble("injection_rate", 0.40);
+    return runExperiment(cfg).avgLatency();
+}
+
+void
+row(const std::string& label, const SimConfig& cfg)
+{
+    std::printf("%-32s %14.1f %16.1f\n", label.c_str(),
+                hotspotLatency(cfg), transposeLatency(cfg));
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    header("Footprint ablations (8x8, 10 VCs; hotspot bg latency @ "
+           "0.44, transpose latency @ 0.40)");
+    std::printf("%-32s %14s %16s\n", "configuration", "hotspot_lat",
+                "transpose_lat");
+
+    SimConfig base = benchBaseline();
+    base.set("routing", "footprint");
+
+    {
+        SimConfig cfg = base;
+        row("default (converge, thr=V/2)", cfg);
+    }
+    for (const char* variant : {"literal", "wait"}) {
+        SimConfig cfg = base;
+        cfg.set("fp_variant", variant);
+        row(std::string("variant=") + variant, cfg);
+    }
+    for (int thr : {2, 3, 7}) {
+        SimConfig cfg = base;
+        cfg.setInt("congestion_threshold", thr);
+        row("threshold=" + std::to_string(thr), cfg);
+    }
+    for (int cap : {1, 2, 4}) {
+        SimConfig cfg = base;
+        cfg.setInt("fp_vc_cap", cap);
+        row("fp_vc_cap=" + std::to_string(cap), cfg);
+    }
+    for (int ct : {3, 4}) {
+        SimConfig cfg = base;
+        cfg.setInt("fp_converge_threshold", ct);
+        row("converge_threshold=" + std::to_string(ct), cfg);
+    }
+    {
+        SimConfig cfg = base;
+        cfg.set("routing", "dbar");
+        row("dbar (reference)", cfg);
+    }
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table benchmark harnesses.
+ *
+ * Every harness prints the rows/series of one table or figure of the
+ * paper. Simulation length is controlled by FP_BENCH_SCALE (a
+ * multiplier on warmup/measure/drain cycles, default 1.0; use >= 4 for
+ * paper-quality statistics, < 1 for a quick smoke pass).
+ */
+
+#ifndef FOOTPRINT_BENCH_COMMON_HPP
+#define FOOTPRINT_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "network/sweep.hpp"
+#include "network/traffic_manager.hpp"
+#include "sim/config.hpp"
+#include "sim/log.hpp"
+
+namespace footprint::bench {
+
+/** Cycle-count multiplier from the FP_BENCH_SCALE environment var. */
+inline double
+benchScale()
+{
+    const char* env = std::getenv("FP_BENCH_SCALE");
+    if (!env)
+        return 1.0;
+    const double s = std::atof(env);
+    return s > 0.0 ? s : 1.0;
+}
+
+/**
+ * The evaluation baseline (Table 2) with bench-sized phases: 8x8 mesh,
+ * 10 VCs, buffer 4, speedup 2, single-flit packets.
+ */
+inline SimConfig
+benchBaseline()
+{
+    SimConfig cfg = defaultConfig();
+    const double s = benchScale();
+    cfg.setInt("warmup_cycles", static_cast<std::int64_t>(2000 * s));
+    cfg.setInt("measure_cycles", static_cast<std::int64_t>(4000 * s));
+    cfg.setInt("drain_cycles", static_cast<std::int64_t>(8000 * s));
+    return cfg;
+}
+
+/** Print a section header. */
+inline void
+header(const std::string& title)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+}
+
+/**
+ * Estimated saturation throughput from a rate ladder: the highest
+ * offered rate whose run is not saturated (latency below
+ * 3x zero-load, drained, accepted tracking offered), linearly
+ * interpolated toward the first saturated rate.
+ */
+inline double
+saturationFromLadder(const std::vector<CurvePoint>& points)
+{
+    double last_good = 0.0;
+    for (const auto& p : points) {
+        if (p.saturated) {
+            // Midpoint between the last good and the first bad rate.
+            return last_good > 0.0 ? (last_good + p.offered) / 2.0
+                                   : p.offered / 2.0;
+        }
+        last_good = p.offered;
+    }
+    return last_good;
+}
+
+/** Percentage improvement of @p ours over @p base. */
+inline double
+pctGain(double ours, double base)
+{
+    return base > 0.0 ? (ours / base - 1.0) * 100.0 : 0.0;
+}
+
+/** The seven algorithms of the paper's evaluation (Table 2). */
+inline std::vector<std::string>
+evaluatedAlgorithms()
+{
+    return {"dor",        "oddeven",        "dbar",
+            "footprint",  "dor+xordet",     "oddeven+xordet",
+            "dbar+xordet"};
+}
+
+} // namespace footprint::bench
+
+#endif // FOOTPRINT_BENCH_COMMON_HPP

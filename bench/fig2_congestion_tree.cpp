@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 2 — the motivating example: a 4x4 mesh with 4 VCs per channel
+ * and the four-flow permutation
+ *   f1: n0 -> n10, f2: n1 -> n15 (network congestion on n1 -> n2),
+ *   f3: n4 -> n13, f4: n12 -> n13 (endpoint congestion at n13).
+ * For each routing algorithm we drive the flows persistently and
+ * report the congestion tree of the oversubscribed endpoint n13:
+ * branch count and thickness (VCs per channel), plus the network-wide
+ * VC footprint of all four flows. DOR should show thick branches,
+ * fully adaptive routing should spread them further, XORDET should be
+ * thin-but-static, and Footprint should be both thin and adaptive
+ * (Fig. 2(d)).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "metrics/congestion_tree.hpp"
+#include "network/network.hpp"
+
+namespace {
+
+using namespace footprint;
+
+struct Flow
+{
+    int src;
+    int dest;
+};
+
+/** Drive the Fig. 2 flows at full rate for a while, then snapshot. */
+void
+runScenario(const std::string& label, const std::string& algo,
+            int fp_vc_cap = 0)
+{
+    SimConfig cfg = defaultConfig();
+    cfg.setInt("mesh_width", 4);
+    cfg.setInt("mesh_height", 4);
+    cfg.setInt("num_vcs", 4);
+    cfg.set("routing", algo);
+    cfg.setInt("fp_vc_cap", fp_vc_cap);
+    Network net(cfg);
+
+    const Flow flows[] = {{0, 10}, {1, 15}, {4, 13}, {12, 13}};
+    std::uint64_t id = 0;
+    for (std::int64_t cycle = 0; cycle < 300; ++cycle) {
+        // Persistent flows: keep every source backlogged.
+        for (const Flow& f : flows) {
+            if (net.endpoint(f.src).sourceBacklogFlits() < 8) {
+                Packet p;
+                p.id = ++id;
+                p.src = f.src;
+                p.dest = f.dest;
+                p.size = 1;
+                p.createTime = cycle;
+                net.endpoint(f.src).enqueue(p);
+            }
+        }
+        net.step(cycle);
+        for (int n = 0; n < 16; ++n)
+            (void)net.endpoint(n).drainEjected();
+    }
+
+    const CongestionTree hotspot = extractCongestionTree(net, 13);
+    const int all_flows_vcs =
+        totalCongestionVcs(net, {10, 15, 13});
+    std::printf("%-18s endpoint-tree(n13): %2d branches, %2d VCs, "
+                "avg thickness %.2f, max %d | all-flow VCs: %d\n",
+                label.c_str(), hotspot.numBranches(),
+                hotspot.totalVcs(), hotspot.avgThickness(),
+                hotspot.maxThickness(), all_flows_vcs);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace footprint::bench;
+    footprint::setQuiet(true);
+    header("Figure 2: congestion trees of the motivating example "
+           "(4x4 mesh, 4 VCs)");
+    for (const char* algo :
+         {"dor", "dbar", "dor+xordet", "dbar+xordet", "footprint"}) {
+        runScenario(algo, algo);
+    }
+    // The Sec. 4.2.5 isolation extension: capping footprint VCs per
+    // (port, destination) bounds the branch thickness explicitly.
+    runScenario("footprint cap=1", "footprint", 1);
+    runScenario("footprint cap=2", "footprint", 2);
+    std::printf("\nExpectation (paper): DOR/full-adaptive saturate all"
+                " 4 VCs per branch;\nXORDET confines the endpoint tree"
+                " to ~1 VC per branch; Footprint keeps\nbranches thin"
+                " while remaining adaptive (with 4 VCs the V/2"
+                " threshold only\nbinds once 3 of 4 VCs are taken;"
+                " the capped variant bounds thickness\ndirectly).\n");
+    return 0;
+}

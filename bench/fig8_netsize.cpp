@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 8 — scalability with network size: DBAR's saturation
+ * throughput normalized to Footprint's on 4x4, 8x8, and 16x16 meshes
+ * (10 VCs, single-flit). The paper reports Footprint's edge growing
+ * with network size (uniform: 11% -> 13%, shuffle: 25% -> 46% between
+ * 4x4 and 16x16).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace footprint;
+    using namespace footprint::bench;
+    setQuiet(true);
+
+    header("Figure 8: DBAR throughput normalized to Footprint, by "
+           "mesh size");
+    const std::vector<double> rates{0.08, 0.16, 0.24, 0.32, 0.40,
+                                    0.48};
+
+    std::printf("%10s %-12s %12s %14s %18s\n", "mesh", "pattern",
+                "dbar_sat", "footprint_sat", "dbar/footprint");
+    for (int k : {4, 8, 16}) {
+        for (const char* pattern :
+             {"uniform", "transpose", "shuffle"}) {
+            double sat[2] = {0.0, 0.0};
+            int i = 0;
+            for (const char* algo : {"dbar", "footprint"}) {
+                SimConfig cfg = benchBaseline();
+                cfg.setInt("mesh_width", k);
+                cfg.setInt("mesh_height", k);
+                cfg.set("traffic", pattern);
+                cfg.set("routing", algo);
+                sat[i++] = saturationFromLadder(
+                    latencyThroughputCurve(cfg, rates));
+            }
+            std::printf("%7dx%-2d %-12s %12.3f %14.3f %17.3f\n", k, k,
+                        pattern, sat[0], sat[1],
+                        sat[1] > 0.0 ? sat[0] / sat[1] : 0.0);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Simulator micro-benchmarks (google-benchmark): cost of the routing
+ * functions, the arbitration primitives, and a whole-network cycle at
+ * several loads. These bound the wall-clock cost of the figure
+ * harnesses and catch performance regressions in the hot path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "network/network.hpp"
+#include "network/traffic_manager.hpp"
+#include "router/allocators.hpp"
+#include "routing/routing.hpp"
+#include "sim/config.hpp"
+#include "sim/log.hpp"
+#include "sim/rng.hpp"
+
+namespace footprint {
+namespace {
+
+SimConfig
+netConfig(const std::string& routing)
+{
+    SimConfig cfg = defaultConfig();
+    cfg.set("routing", routing);
+    return cfg;
+}
+
+void
+BM_RoundRobinArbiter(benchmark::State& state)
+{
+    RoundRobinArbiter arb(10);
+    std::vector<bool> req(10, true);
+    req[3] = false;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(arb.arbitrate(req));
+}
+BENCHMARK(BM_RoundRobinArbiter);
+
+void
+BM_Rng(benchmark::State& state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.nextBounded(64));
+}
+BENCHMARK(BM_Rng);
+
+void
+BM_NetworkCycle(benchmark::State& state)
+{
+    const double rate = static_cast<double>(state.range(0)) / 100.0;
+    SimConfig cfg = netConfig("footprint");
+    setQuiet(true);
+    Network net(cfg);
+    Rng gen(7);
+    std::uint64_t id = 0;
+    std::int64_t cycle = 0;
+    for (auto _ : state) {
+        for (int n = 0; n < 64; ++n) {
+            if (gen.nextBool(rate)) {
+                Packet p;
+                p.id = ++id;
+                p.src = n;
+                p.dest = static_cast<int>(gen.nextBounded(64));
+                if (p.dest == n)
+                    continue;
+                p.size = 1;
+                p.createTime = cycle;
+                net.endpoint(n).enqueue(p);
+            }
+        }
+        net.step(cycle++);
+        for (int n = 0; n < 64; ++n)
+            (void)net.endpoint(n).drainEjected();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetworkCycle)->Arg(10)->Arg(30)->Arg(45);
+
+void
+BM_RoutingFunction(benchmark::State& state)
+{
+    // Measure the whole-network step cost per algorithm at a fixed
+    // moderate load; differences expose per-algorithm routing cost.
+    const auto algos = allRoutingAlgorithmNames();
+    const std::string algo = algos[static_cast<std::size_t>(
+        state.range(0))];
+    state.SetLabel(algo);
+    SimConfig cfg = netConfig(algo);
+    setQuiet(true);
+    Network net(cfg);
+    Rng gen(7);
+    std::uint64_t id = 0;
+    std::int64_t cycle = 0;
+    for (auto _ : state) {
+        for (int n = 0; n < 64; ++n) {
+            if (gen.nextBool(0.3)) {
+                Packet p;
+                p.id = ++id;
+                p.src = n;
+                p.dest = static_cast<int>(gen.nextBounded(64));
+                if (p.dest == n)
+                    continue;
+                p.size = 1;
+                p.createTime = cycle;
+                net.endpoint(n).enqueue(p);
+            }
+        }
+        net.step(cycle++);
+        for (int n = 0; n < 64; ++n)
+            (void)net.endpoint(n).drainEjected();
+    }
+}
+BENCHMARK(BM_RoutingFunction)->DenseRange(0, 6);
+
+} // namespace
+} // namespace footprint
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Sec. 4.4 — implementation cost of Footprint routing: the per-port
+ * storage added by the idle-VC counter and the per-VC owner registers,
+ * across network sizes and VC counts, expressed in bits and in
+ * equivalent flit-buffer entries (128- and 256-bit flits).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "metrics/cost_model.hpp"
+
+int
+main()
+{
+    using namespace footprint;
+    using namespace footprint::bench;
+
+    header("Sec 4.4: Footprint storage cost per router port");
+    std::printf("%8s %6s %12s %12s %14s %14s\n", "mesh", "VCs",
+                "owner_bits", "bits/port", "flits@128b",
+                "flits@256b");
+    for (int k : {4, 8, 16}) {
+        for (int vcs : {2, 4, 8, 10, 16}) {
+            const FootprintCost cost = footprintCost(vcs, k * k);
+            std::printf("%5dx%-2d %6d %12d %12d %14.2f %14.2f\n", k, k,
+                        vcs, cost.ownerBitsPerVc, cost.bitsPerPort(),
+                        cost.flitEquivalents(128),
+                        cost.flitEquivalents(256));
+        }
+    }
+    std::printf("\nPaper reference point: 8x8 mesh with 16 VCs ~ 132"
+                " bits/port (about one\nextra flit-buffer entry); our"
+                " model gives %d bits with the same structure\n"
+                "(log2(N) owner register per VC + busy bit + idle"
+                " counter).\n",
+                footprintCost(16, 64).bitsPerPort());
+    return 0;
+}

@@ -1,0 +1,140 @@
+#include "metrics/adaptiveness.hpp"
+
+#include <functional>
+#include <vector>
+
+#include "routing/odd_even.hpp"
+#include "routing/routing.hpp"
+#include "sim/log.hpp"
+
+namespace footprint {
+
+namespace {
+
+/** Legal minimal directions of @p algorithm at @p cur (static view). */
+std::vector<Dir>
+legalDirs(const Mesh& mesh, const std::string& algorithm, int src,
+          int cur, int dest)
+{
+    if (cur == dest)
+        return {};
+    if (algorithm.rfind("dor", 0) == 0)
+        return {dorDir(mesh, cur, dest)};
+    if (algorithm.rfind("oddeven", 0) == 0)
+        return OddEvenRouting::legalDirs(mesh, src, cur, dest);
+    if (algorithm.rfind("dbar", 0) == 0
+        || algorithm.rfind("footprint", 0) == 0) {
+        return mesh.minimalDirs(cur, dest);
+    }
+    fatal("unknown algorithm for adaptiveness: " + algorithm);
+}
+
+/** Nodes reachable from src along allowed minimal paths (excl dest). */
+std::vector<int>
+reachableNodes(const Mesh& mesh, const std::string& algorithm, int src,
+               int dest)
+{
+    std::vector<bool> seen(static_cast<std::size_t>(mesh.numNodes()));
+    std::vector<int> frontier{src};
+    std::vector<int> out;
+    seen[static_cast<std::size_t>(src)] = true;
+    while (!frontier.empty()) {
+        const int cur = frontier.back();
+        frontier.pop_back();
+        if (cur == dest)
+            continue;
+        out.push_back(cur);
+        for (Dir d : legalDirs(mesh, algorithm, src, cur, dest)) {
+            const int nxt = mesh.neighbor(cur, d);
+            if (!seen[static_cast<std::size_t>(nxt)]) {
+                seen[static_cast<std::size_t>(nxt)] = true;
+                frontier.push_back(nxt);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+double
+portAdaptiveness(const Mesh& mesh, const std::string& algorithm,
+                 int src, int dest)
+{
+    if (src == dest)
+        return 1.0;
+    double sum = 0.0;
+    int count = 0;
+    for (int node : reachableNodes(mesh, algorithm, src, dest)) {
+        const auto allowed = legalDirs(mesh, algorithm, src, node, dest);
+        const auto minimal = mesh.minimalDirs(node, dest);
+        FP_ASSERT(!minimal.empty(), "non-dest node with no minimal dir");
+        sum += static_cast<double>(allowed.size())
+            / static_cast<double>(minimal.size());
+        ++count;
+    }
+    return count == 0 ? 1.0 : sum / static_cast<double>(count);
+}
+
+double
+pathAdaptiveness(const Mesh& mesh, const std::string& algorithm,
+                 int src, int dest)
+{
+    if (src == dest)
+        return 1.0;
+    std::vector<double> memo(static_cast<std::size_t>(mesh.numNodes()),
+                             -1.0);
+    std::function<double(int)> count = [&](int cur) -> double {
+        if (cur == dest)
+            return 1.0;
+        double& m = memo[static_cast<std::size_t>(cur)];
+        if (m >= 0.0)
+            return m;
+        double total = 0.0;
+        for (Dir d : legalDirs(mesh, algorithm, src, cur, dest))
+            total += count(mesh.neighbor(cur, d));
+        m = total;
+        return total;
+    };
+    return count(src) / mesh.numMinimalPaths(src, dest);
+}
+
+double
+vcAdaptiveness(const std::string& algorithm, int num_vcs)
+{
+    // Only Footprint selects VCs adaptively per packet; every baseline
+    // either uses VCs obliviously (DOR, Odd-Even, DBAR) or statically
+    // (+XORDET), giving zero VC adaptiveness (Sec. 3.1).
+    if (algorithm == "footprint") {
+        return static_cast<double>(num_vcs - 1)
+            / static_cast<double>(num_vcs);
+    }
+    return 0.0;
+}
+
+AdaptivenessReport
+adaptivenessReport(const Mesh& mesh, const std::string& algorithm,
+                   int num_vcs)
+{
+    AdaptivenessReport rep;
+    rep.algorithm = algorithm;
+    double port_sum = 0.0;
+    double path_sum = 0.0;
+    int pairs = 0;
+    const int n = mesh.numNodes();
+    for (int s = 0; s < n; ++s) {
+        for (int d = 0; d < n; ++d) {
+            if (s == d)
+                continue;
+            port_sum += portAdaptiveness(mesh, algorithm, s, d);
+            path_sum += pathAdaptiveness(mesh, algorithm, s, d);
+            ++pairs;
+        }
+    }
+    rep.portAdaptiveness = port_sum / pairs;
+    rep.pathAdaptiveness = path_sum / pairs;
+    rep.vcAdaptiveness = vcAdaptiveness(algorithm, num_vcs);
+    return rep;
+}
+
+} // namespace footprint

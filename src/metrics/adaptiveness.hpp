@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The paper's two-level routing adaptiveness metrics (Sec. 3.1):
+ * port adaptiveness (Eq. 1) and VC adaptiveness (Eq. 2), computed
+ * analytically for each routing algorithm.
+ */
+
+#ifndef FOOTPRINT_METRICS_ADAPTIVENESS_HPP
+#define FOOTPRINT_METRICS_ADAPTIVENESS_HPP
+
+#include <string>
+
+#include "topo/mesh.hpp"
+
+namespace footprint {
+
+/** Two-level adaptiveness summary for one algorithm. */
+struct AdaptivenessReport
+{
+    std::string algorithm;
+    /** Average of P_adapt(ni, nj) over all ordered node pairs. */
+    double portAdaptiveness = 0.0;
+    /** Fraction of minimal *paths* allowed (Glass & Ni adaptiveness). */
+    double pathAdaptiveness = 0.0;
+    /** VC adaptiveness per Eq. 2 (averaged over channel types). */
+    double vcAdaptiveness = 0.0;
+};
+
+/**
+ * Port adaptiveness between a node pair: averaged over every node on
+ * any allowed minimal path, the ratio of allowed productive ports to
+ * minimal ports (Eq. 1).
+ */
+double portAdaptiveness(const Mesh& mesh, const std::string& algorithm,
+                        int src, int dest);
+
+/**
+ * Path adaptiveness between a node pair: allowed minimal paths divided
+ * by all minimal paths.
+ */
+double pathAdaptiveness(const Mesh& mesh, const std::string& algorithm,
+                        int src, int dest);
+
+/**
+ * VC adaptiveness of an algorithm for a non-escape channel (Eq. 2):
+ * 1 for algorithms that choose VCs adaptively per-packet, 0 for
+ * algorithms that pick VCs obliviously or statically; Duato-based
+ * adaptive-VC algorithms score (V-1)/V on non-escape channels.
+ */
+double vcAdaptiveness(const std::string& algorithm, int num_vcs);
+
+/** Full report averaged over all ordered node pairs of @p mesh. */
+AdaptivenessReport adaptivenessReport(const Mesh& mesh,
+                                      const std::string& algorithm,
+                                      int num_vcs);
+
+} // namespace footprint
+
+#endif // FOOTPRINT_METRICS_ADAPTIVENESS_HPP

@@ -1,0 +1,80 @@
+#include "metrics/congestion_tree.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "network/network.hpp"
+
+namespace footprint {
+
+int
+CongestionTree::totalVcs() const
+{
+    int total = 0;
+    for (const TreeBranch& b : branches)
+        total += b.thickness();
+    return total;
+}
+
+double
+CongestionTree::avgThickness() const
+{
+    return branches.empty()
+        ? 0.0
+        : static_cast<double>(totalVcs())
+            / static_cast<double>(branches.size());
+}
+
+int
+CongestionTree::maxThickness() const
+{
+    int best = 0;
+    for (const TreeBranch& b : branches)
+        best = std::max(best, b.thickness());
+    return best;
+}
+
+std::string
+CongestionTree::toString() const
+{
+    std::ostringstream oss;
+    oss << "tree(dest=" << dest << "): " << numBranches()
+        << " branches, " << totalVcs() << " VCs, avg thickness "
+        << avgThickness() << ", max thickness " << maxThickness();
+    return oss.str();
+}
+
+CongestionTree
+extractCongestionTree(const Network& net, int dest)
+{
+    CongestionTree tree;
+    tree.dest = dest;
+    const int n = net.mesh().numNodes();
+    const int num_vcs = net.routerParams().numVcs;
+    for (int node = 0; node < n; ++node) {
+        const Router& r = net.router(node);
+        for (int port = 0; port < kNumPorts; ++port) {
+            TreeBranch branch;
+            branch.router = node;
+            branch.inPort = port;
+            for (int vc = 0; vc < num_vcs; ++vc) {
+                if (r.inputHoldsDest(port, vc, dest))
+                    branch.vcs.push_back(vc);
+            }
+            if (!branch.vcs.empty())
+                tree.branches.push_back(std::move(branch));
+        }
+    }
+    return tree;
+}
+
+int
+totalCongestionVcs(const Network& net, const std::vector<int>& dests)
+{
+    int total = 0;
+    for (int dest : dests)
+        total += extractCongestionTree(net, dest).totalVcs();
+    return total;
+}
+
+} // namespace footprint

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Congestion-tree extraction (Figs. 2 and 4): given a network snapshot
+ * and a destination, find the tree of channels and VCs holding traffic
+ * to that destination, and report its size and branch thickness.
+ */
+
+#ifndef FOOTPRINT_METRICS_CONGESTION_TREE_HPP
+#define FOOTPRINT_METRICS_CONGESTION_TREE_HPP
+
+#include <string>
+#include <vector>
+
+namespace footprint {
+
+class Network;
+
+/** One branch of a congestion tree: a channel and its occupied VCs. */
+struct TreeBranch
+{
+    int router = -1;  ///< router whose input channel this is
+    int inPort = -1;  ///< input port (the channel's downstream end)
+    std::vector<int> vcs;  ///< input VCs holding traffic to the dest
+
+    int thickness() const { return static_cast<int>(vcs.size()); }
+};
+
+/** A congestion tree rooted at one destination endpoint. */
+struct CongestionTree
+{
+    int dest = -1;
+    std::vector<TreeBranch> branches;
+
+    int numBranches() const { return static_cast<int>(branches.size()); }
+    int totalVcs() const;
+    double avgThickness() const;
+    int maxThickness() const;
+
+    std::string toString() const;
+};
+
+/**
+ * Extract the congestion tree for @p dest from the current buffer
+ * occupancy of @p net: every input (channel, VC) holding at least one
+ * flit destined to @p dest is a member; branch thickness is the VC
+ * count per channel (the quantity Footprint minimises).
+ */
+CongestionTree extractCongestionTree(const Network& net, int dest);
+
+/** Sum of totalVcs over the trees of several destinations. */
+int totalCongestionVcs(const Network& net,
+                       const std::vector<int>& dests);
+
+} // namespace footprint
+
+#endif // FOOTPRINT_METRICS_CONGESTION_TREE_HPP

@@ -1,0 +1,61 @@
+#include "metrics/cost_model.hpp"
+
+#include <sstream>
+
+#include "sim/log.hpp"
+
+namespace footprint {
+
+int
+ceilLog2(int x)
+{
+    FP_ASSERT(x >= 1, "ceilLog2 of non-positive value");
+    int bits = 0;
+    int v = 1;
+    while (v < x) {
+        v *= 2;
+        ++bits;
+    }
+    return bits;
+}
+
+int
+FootprintCost::bitsPerPort() const
+{
+    return numVcs * (ownerBitsPerVc + busyBitsPerVc) + idleCounterBits;
+}
+
+double
+FootprintCost::flitEquivalents(int flit_bits) const
+{
+    return static_cast<double>(bitsPerPort())
+        / static_cast<double>(flit_bits);
+}
+
+std::string
+FootprintCost::toString() const
+{
+    std::ostringstream oss;
+    oss << "footprint cost: " << numVcs << " VCs x ("
+        << ownerBitsPerVc << " owner + " << busyBitsPerVc
+        << " busy) bits + " << idleCounterBits
+        << " counter bits = " << bitsPerPort() << " bits/port";
+    return oss.str();
+}
+
+FootprintCost
+footprintCost(int num_vcs, int num_nodes)
+{
+    FootprintCost cost;
+    cost.numVcs = num_vcs;
+    cost.numNodes = num_nodes;
+    // Owner register: log2(N) bits per VC to name the destination of
+    // the occupying packet (Sec. 4.4), plus one busy/valid bit.
+    cost.ownerBitsPerVc = ceilLog2(num_nodes);
+    cost.busyBitsPerVc = 1;
+    // Idle-VC counter: counts 0..numVcs, so log2(V+1) bits per port.
+    cost.idleCounterBits = ceilLog2(num_vcs + 1);
+    return cost;
+}
+
+} // namespace footprint

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Implementation-cost model of Footprint routing (Sec. 4.4): the extra
+ * per-port storage (idle-VC counter + per-VC owner registers) and its
+ * overhead relative to flit buffering.
+ */
+
+#ifndef FOOTPRINT_METRICS_COST_MODEL_HPP
+#define FOOTPRINT_METRICS_COST_MODEL_HPP
+
+#include <string>
+
+namespace footprint {
+
+/** Storage cost of Footprint's bookkeeping at one router port. */
+struct FootprintCost
+{
+    int numVcs = 0;
+    int numNodes = 0;
+
+    int ownerBitsPerVc = 0;    ///< log2(N) destination register
+    int busyBitsPerVc = 1;     ///< occupancy/valid bit
+    int idleCounterBits = 0;   ///< log2(V+1) idle-VC counter per port
+
+    /** Total extra bits per port. */
+    int bitsPerPort() const;
+
+    /** Overhead expressed in flit-buffer entries of @p flit_bits. */
+    double flitEquivalents(int flit_bits) const;
+
+    std::string toString() const;
+};
+
+/** ceil(log2(x)) for x >= 1. */
+int ceilLog2(int x);
+
+/** Build the cost model for a network of @p num_nodes with @p num_vcs
+ * VCs per physical channel. */
+FootprintCost footprintCost(int num_vcs, int num_nodes);
+
+} // namespace footprint
+
+#endif // FOOTPRINT_METRICS_COST_MODEL_HPP

@@ -1,0 +1,41 @@
+#include "metrics/purity.hpp"
+
+#include <sstream>
+
+#include "network/network.hpp"
+
+namespace footprint {
+
+double
+PuritySummary::blockingRate() const
+{
+    const std::uint64_t attempts = blockingEvents + allocSuccesses;
+    return attempts == 0
+        ? 0.0
+        : static_cast<double>(blockingEvents)
+            / static_cast<double>(attempts);
+}
+
+std::string
+PuritySummary::toString() const
+{
+    std::ostringstream oss;
+    oss << "purity=" << purity << " blocking_events=" << blockingEvents
+        << " hol_degree=" << holDegree
+        << " blocking_rate=" << blockingRate();
+    return oss.str();
+}
+
+PuritySummary
+collectPurity(const Network& net)
+{
+    const Router::Counters c = net.aggregateCounters();
+    PuritySummary s;
+    s.purity = c.purity();
+    s.blockingEvents = c.vcAllocFail;
+    s.holDegree = c.holDegree();
+    s.allocSuccesses = c.vcAllocSuccess;
+    return s;
+}
+
+} // namespace footprint

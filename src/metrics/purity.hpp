@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Purity-of-blocking analysis (Fig. 10(b,c)): the share of footprint
+ * VCs among busy VCs at VC-allocation failures, and the derived degree
+ * of head-of-line blocking.
+ */
+
+#ifndef FOOTPRINT_METRICS_PURITY_HPP
+#define FOOTPRINT_METRICS_PURITY_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace footprint {
+
+class Network;
+
+/** Network-wide blocking summary over a measurement window. */
+struct PuritySummary
+{
+    /** Mean ratio of footprint VCs to busy VCs at blocking events. */
+    double purity = 0.0;
+    /** Number of VC-allocation failures (blocking events). */
+    std::uint64_t blockingEvents = 0;
+    /** Degree of HoL blocking: (1 - purity) x blocking events. */
+    double holDegree = 0.0;
+    /** VC allocation successes (for blocking-rate normalisation). */
+    std::uint64_t allocSuccesses = 0;
+
+    /** Blocking events per allocation attempt. */
+    double blockingRate() const;
+
+    std::string toString() const;
+};
+
+/** Aggregate the routers' counters into a summary. */
+PuritySummary collectPurity(const Network& net);
+
+} // namespace footprint
+
+#endif // FOOTPRINT_METRICS_PURITY_HPP

@@ -1,0 +1,173 @@
+#include "network/endpoint.hpp"
+
+#include "sim/log.hpp"
+
+namespace footprint {
+
+Endpoint::Endpoint(int node, const EndpointParams& params,
+                   std::uint64_t seed)
+    : node_(node), params_(params),
+      rng_(seed * 0xabcdef1234567ULL + static_cast<std::uint64_t>(node))
+{
+    injectVcs_.assign(static_cast<std::size_t>(params.numVcs),
+                      OutVcState(params.vcBufSize));
+    sinkVcs_.resize(static_cast<std::size_t>(params.numVcs));
+}
+
+void
+Endpoint::connect(FlitChannel* to_router,
+                  CreditChannel* credit_from_router,
+                  FlitChannel* from_router,
+                  CreditChannel* credit_to_router)
+{
+    toRouter_ = to_router;
+    creditFromRouter_ = credit_from_router;
+    fromRouter_ = from_router;
+    creditToRouter_ = credit_to_router;
+}
+
+void
+Endpoint::enqueue(const Packet& packet)
+{
+    FP_ASSERT(packet.src == node_, "packet enqueued at wrong endpoint");
+    sourceQueue_.push_back(packet);
+}
+
+void
+Endpoint::receivePhase(std::int64_t cycle)
+{
+    // Credits for the router's local-input VCs.
+    if (creditFromRouter_) {
+        while (auto c = creditFromRouter_->receive(cycle)) {
+            injectVcs_[static_cast<std::size_t>(c->vc)].returnCredit();
+        }
+    }
+    // Flits arriving at the sink.
+    if (fromRouter_) {
+        while (auto f = fromRouter_->receive(cycle)) {
+            FP_ASSERT(f->dest == node_,
+                      "misrouted flit at endpoint " << node_ << ": "
+                                                    << f->toString());
+            auto& buf = sinkVcs_[static_cast<std::size_t>(f->vc)];
+            FP_ASSERT(static_cast<int>(buf.size()) < params_.vcBufSize,
+                      "sink VC buffer overflow");
+            buf.push_back(*f);
+        }
+    }
+}
+
+bool
+Endpoint::startNextPacket()
+{
+    if (sourceQueue_.empty())
+        return false;
+    // Round-robin over allocatable injection VCs so consecutive packets
+    // spread across VCs.
+    const int num_vcs = params_.numVcs;
+    for (int i = 0; i < num_vcs; ++i) {
+        const int vc = (nextVcHint_ + i) % num_vcs;
+        OutVcState& state = injectVcs_[static_cast<std::size_t>(vc)];
+        if (state.allocatable(params_.atomicVcAlloc)) {
+            current_ = sourceQueue_.front();
+            sourceQueue_.pop_front();
+            state.allocate(current_.dest);
+            currentVc_ = vc;
+            cursor_ = 0;
+            injecting_ = true;
+            nextVcHint_ = (vc + 1) % num_vcs;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Endpoint::computePhase(std::int64_t cycle)
+{
+    // --- Source: inject at most one flit per cycle. ---
+    if (!injecting_)
+        startNextPacket();
+    if (injecting_) {
+        OutVcState& state =
+            injectVcs_[static_cast<std::size_t>(currentVc_)];
+        if (state.credits() > 0 && toRouter_) {
+            Flit f = makeFlit(current_, cursor_);
+            f.vc = currentVc_;
+            f.injectTime = cycle;
+            state.consumeCredit();
+            toRouter_->send(f, cycle);
+            ++flitsInjected_;
+            ++cursor_;
+            if (cursor_ == current_.size) {
+                state.tailSent();
+                injecting_ = false;
+                currentVc_ = -1;
+            }
+        }
+    }
+
+    // --- Sink: drain up to ejectionRate flits per cycle. ---
+    const int num_vcs = params_.numVcs;
+    for (int e = 0; e < params_.ejectionRate; ++e) {
+        int picked = -1;
+        for (int i = 0; i < num_vcs; ++i) {
+            const int vc = (drainHint_ + i) % num_vcs;
+            if (!sinkVcs_[static_cast<std::size_t>(vc)].empty()) {
+                picked = vc;
+                break;
+            }
+        }
+        if (picked < 0)
+            break;
+        drainHint_ = (picked + 1) % num_vcs;
+        auto& buf = sinkVcs_[static_cast<std::size_t>(picked)];
+        const Flit f = buf.front();
+        buf.pop_front();
+        ++flitsEjected_;
+        if (creditToRouter_)
+            creditToRouter_->send(Credit{picked}, cycle);
+        if (f.tail) {
+            EjectedPacket p;
+            p.packetId = f.packetId;
+            p.src = f.src;
+            p.dest = f.dest;
+            p.size = f.packetSize;
+            p.createTime = f.createTime;
+            p.ejectTime = cycle;
+            p.hops = f.hops;
+            p.flowClass = f.flowClass;
+            p.measured = f.measured;
+            ejected_.push_back(p);
+        }
+    }
+}
+
+std::vector<EjectedPacket>
+Endpoint::drainEjected()
+{
+    std::vector<EjectedPacket> out;
+    out.swap(ejected_);
+    return out;
+}
+
+std::int64_t
+Endpoint::sourceBacklogFlits() const
+{
+    std::int64_t flits = 0;
+    for (const Packet& p : sourceQueue_)
+        flits += p.size;
+    if (injecting_)
+        flits += current_.size - cursor_;
+    return flits;
+}
+
+int
+Endpoint::sinkBufferedFlits() const
+{
+    int total = 0;
+    for (const auto& buf : sinkVcs_)
+        total += static_cast<int>(buf.size());
+    return total;
+}
+
+} // namespace footprint

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Endpoint node model: an injection source (unbounded source queue,
+ * one flit per cycle, credit-respecting VC selection) and an ejection
+ * sink (per-VC buffers drained at a configurable ejection rate). The
+ * sink's finite drain bandwidth is what turns oversubscribed endpoints
+ * into real endpoint congestion with backpressure into the network.
+ */
+
+#ifndef FOOTPRINT_NETWORK_ENDPOINT_HPP
+#define FOOTPRINT_NETWORK_ENDPOINT_HPP
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "router/channel.hpp"
+#include "router/vc_state.hpp"
+#include "sim/rng.hpp"
+
+namespace footprint {
+
+/** A completed (fully ejected) packet, for statistics collection. */
+struct EjectedPacket
+{
+    std::uint64_t packetId = 0;
+    int src = -1;
+    int dest = -1;
+    int size = 1;
+    std::int64_t createTime = 0;
+    std::int64_t ejectTime = 0;
+    int hops = 0;
+    FlowClass flowClass = FlowClass::Background;
+    bool measured = false;
+
+    std::int64_t latency() const { return ejectTime - createTime; }
+};
+
+/** Endpoint configuration. */
+struct EndpointParams
+{
+    int numVcs = 10;
+    int vcBufSize = 4;
+    int ejectionRate = 1;      ///< flits drained from the sink per cycle
+    bool atomicVcAlloc = true; ///< VC reallocation policy at injection
+};
+
+/**
+ * The source + sink pair attached to one router's local port.
+ */
+class Endpoint
+{
+  public:
+    Endpoint(int node, const EndpointParams& params, std::uint64_t seed);
+
+    /**
+     * Wire the endpoint to its router's local port.
+     *
+     * @param to_router flits source -> router local input.
+     * @param credit_from_router credits router -> source.
+     * @param from_router flits router local output -> sink.
+     * @param credit_to_router credits sink -> router.
+     */
+    void connect(FlitChannel* to_router, CreditChannel* credit_from_router,
+                 FlitChannel* from_router,
+                 CreditChannel* credit_to_router);
+
+    /** Queue a packet for injection (open-loop source). */
+    void enqueue(const Packet& packet);
+
+    void receivePhase(std::int64_t cycle);
+    void computePhase(std::int64_t cycle);
+
+    /** Packets fully ejected since the last call (caller consumes). */
+    std::vector<EjectedPacket> drainEjected();
+
+    int node() const { return node_; }
+
+    /** Flits waiting in the source (queued packets + current). */
+    std::int64_t sourceBacklogFlits() const;
+
+    /** Flits currently buffered in the sink. */
+    int sinkBufferedFlits() const;
+
+    std::uint64_t flitsInjected() const { return flitsInjected_; }
+    std::uint64_t flitsEjected() const { return flitsEjected_; }
+
+  private:
+    bool startNextPacket();
+
+    int node_;
+    EndpointParams params_;
+    Rng rng_;
+
+    // Source side.
+    FlitChannel* toRouter_ = nullptr;
+    CreditChannel* creditFromRouter_ = nullptr;
+    std::deque<Packet> sourceQueue_;
+    std::vector<OutVcState> injectVcs_;  ///< router local-input VC view
+    bool injecting_ = false;
+    Packet current_;
+    int cursor_ = 0;
+    int currentVc_ = -1;
+    int nextVcHint_ = 0;
+
+    // Sink side.
+    FlitChannel* fromRouter_ = nullptr;
+    CreditChannel* creditToRouter_ = nullptr;
+    std::vector<std::deque<Flit>> sinkVcs_;
+    int drainHint_ = 0;
+    std::vector<EjectedPacket> ejected_;
+
+    std::uint64_t flitsInjected_ = 0;
+    std::uint64_t flitsEjected_ = 0;
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_NETWORK_ENDPOINT_HPP

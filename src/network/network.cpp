@@ -1,0 +1,180 @@
+#include "network/network.hpp"
+
+#include "sim/log.hpp"
+
+namespace footprint {
+
+void
+StatusBoard::init(int num_nodes)
+{
+    front_.assign(static_cast<std::size_t>(num_nodes), {});
+    back_.assign(static_cast<std::size_t>(num_nodes), {});
+}
+
+void
+StatusBoard::publish(int node, int port, int count)
+{
+    back_.at(static_cast<std::size_t>(node))
+        .at(static_cast<std::size_t>(port)) = count;
+}
+
+void
+StatusBoard::flip()
+{
+    front_.swap(back_);
+}
+
+int
+StatusBoard::idleCount(int node, int port) const
+{
+    return front_.at(static_cast<std::size_t>(node))
+        .at(static_cast<std::size_t>(port));
+}
+
+FlitChannel*
+Network::newFlitChannel(int latency)
+{
+    flitChannels_.push_back(std::make_unique<FlitChannel>(latency));
+    return flitChannels_.back().get();
+}
+
+CreditChannel*
+Network::newCreditChannel(int latency)
+{
+    creditChannels_.push_back(std::make_unique<CreditChannel>(latency));
+    return creditChannels_.back().get();
+}
+
+Network::Network(const SimConfig& cfg)
+    : mesh_(static_cast<int>(cfg.getInt("mesh_width")),
+            static_cast<int>(cfg.getInt("mesh_height")))
+{
+    params_.numVcs = static_cast<int>(cfg.getInt("num_vcs"));
+    params_.vcBufSize = static_cast<int>(cfg.getInt("vc_buf_size"));
+    params_.internalSpeedup =
+        static_cast<int>(cfg.getInt("internal_speedup"));
+    params_.outputFifoSize =
+        static_cast<int>(cfg.getInt("output_fifo_size"));
+
+    routing_ = makeRoutingAlgorithm(cfg.getStr("routing"), cfg);
+    if (routing_->numEscapeVcs() >= params_.numVcs)
+        fatal("routing algorithm needs more VCs than configured");
+
+    const int n = mesh_.numNodes();
+    const auto seed = static_cast<std::uint64_t>(cfg.getInt("seed"));
+    const int link_latency = static_cast<int>(cfg.getInt("link_latency"));
+
+    status_.init(n);
+
+    EndpointParams ep;
+    ep.numVcs = params_.numVcs;
+    ep.vcBufSize = params_.vcBufSize;
+    ep.ejectionRate = static_cast<int>(cfg.getInt("ejection_rate"));
+    ep.atomicVcAlloc = routing_->atomicVcAlloc();
+
+    routers_.reserve(static_cast<std::size_t>(n));
+    endpoints_.reserve(static_cast<std::size_t>(n));
+    for (int node = 0; node < n; ++node) {
+        routers_.push_back(std::make_unique<Router>(
+            mesh_, node, params_, routing_.get(), seed, &status_));
+        endpoints_.push_back(
+            std::make_unique<Endpoint>(node, ep, seed));
+    }
+
+    // Inter-router links: for each node, wire East and North links (the
+    // reverse directions are the neighbor's West/South ports).
+    for (int node = 0; node < n; ++node) {
+        for (Dir d : {Dir::East, Dir::North}) {
+            if (!mesh_.hasNeighbor(node, d))
+                continue;
+            const int nbr = mesh_.neighbor(node, d);
+            const Dir rd = opposite(d);
+
+            // node --flits--> nbr and the credit return path.
+            FlitChannel* f_fwd = newFlitChannel(link_latency);
+            CreditChannel* c_fwd = newCreditChannel(link_latency);
+            router(node).connectOutput(portOf(d), f_fwd, c_fwd);
+            router(nbr).connectInput(portOf(rd), f_fwd, c_fwd);
+
+            // nbr --flits--> node and its credit return path.
+            FlitChannel* f_rev = newFlitChannel(link_latency);
+            CreditChannel* c_rev = newCreditChannel(link_latency);
+            router(nbr).connectOutput(portOf(rd), f_rev, c_rev);
+            router(node).connectInput(portOf(d), f_rev, c_rev);
+
+            router(node).setNeighbor(portOf(d), nbr);
+            router(nbr).setNeighbor(portOf(rd), node);
+        }
+    }
+
+    // Endpoint links on each router's local port.
+    for (int node = 0; node < n; ++node) {
+        FlitChannel* inj = newFlitChannel(link_latency);
+        CreditChannel* inj_credit = newCreditChannel(link_latency);
+        FlitChannel* ej = newFlitChannel(link_latency);
+        CreditChannel* ej_credit = newCreditChannel(link_latency);
+
+        router(node).connectInput(portOf(Dir::Local), inj, inj_credit);
+        router(node).connectOutput(portOf(Dir::Local), ej, ej_credit);
+        endpoint(node).connect(inj, inj_credit, ej, ej_credit);
+    }
+}
+
+void
+Network::step(std::int64_t cycle)
+{
+    const int n = mesh_.numNodes();
+    for (int node = 0; node < n; ++node) {
+        routers_[idx(node)]->receivePhase(cycle);
+        endpoints_[idx(node)]->receivePhase(cycle);
+    }
+    for (int node = 0; node < n; ++node) {
+        routers_[idx(node)]->computePhase(cycle);
+        endpoints_[idx(node)]->computePhase(cycle);
+    }
+    for (int node = 0; node < n; ++node) {
+        routers_[idx(node)]->transmitPhase(cycle);
+        for (int port = 0; port < kNumPorts; ++port) {
+            status_.publish(node, port,
+                            routers_[idx(node)]->idleVcCount(port));
+        }
+    }
+    status_.flip();
+}
+
+std::int64_t
+Network::totalFlitsInFlight() const
+{
+    std::int64_t total = 0;
+    for (const auto& r : routers_)
+        total += r->totalBufferedFlits();
+    for (const auto& e : endpoints_)
+        total += e->sinkBufferedFlits();
+    for (const auto& ch : flitChannels_)
+        total += static_cast<std::int64_t>(ch->inFlightCount());
+    return total;
+}
+
+Router::Counters
+Network::aggregateCounters() const
+{
+    Router::Counters sum;
+    for (const auto& r : routers_) {
+        const Router::Counters& c = r->counters();
+        sum.vcAllocSuccess += c.vcAllocSuccess;
+        sum.vcAllocFail += c.vcAllocFail;
+        sum.puritySum += c.puritySum;
+        sum.puritySamples += c.puritySamples;
+        sum.flitsTraversed += c.flitsTraversed;
+    }
+    return sum;
+}
+
+void
+Network::resetCounters()
+{
+    for (auto& r : routers_)
+        r->resetCounters();
+}
+
+} // namespace footprint

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Full network assembly: routers, endpoints, channels, and the
+ * side-band status network, stepped one cycle at a time.
+ */
+
+#ifndef FOOTPRINT_NETWORK_NETWORK_HPP
+#define FOOTPRINT_NETWORK_NETWORK_HPP
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "network/endpoint.hpp"
+#include "router/router.hpp"
+#include "sim/config.hpp"
+#include "topo/mesh.hpp"
+
+namespace footprint {
+
+/**
+ * Double-buffered per-router status table: routers publish idle-VC
+ * counts each cycle; neighbors read the previous cycle's values
+ * (a one-cycle-delayed side-band network, as DBAR assumes).
+ */
+class StatusBoard : public StatusProvider
+{
+  public:
+    void init(int num_nodes);
+
+    /** Publish @p count for (node, port); visible after flip(). */
+    void publish(int node, int port, int count);
+
+    /** Make this cycle's published values visible to readers. */
+    void flip();
+
+    int idleCount(int node, int port) const override;
+
+  private:
+    std::vector<std::array<int, kNumPorts>> front_;
+    std::vector<std::array<int, kNumPorts>> back_;
+};
+
+/**
+ * A 2D-mesh network of routers and endpoints built from a SimConfig.
+ *
+ * Per cycle (step): all routers and endpoints run their receive phase,
+ * then their compute phase, then routers transmit into links; finally
+ * the status board flips. The two-phase structure makes the simulation
+ * independent of iteration order and hence deterministic.
+ */
+class Network
+{
+  public:
+    explicit Network(const SimConfig& cfg);
+
+    /** Advance the whole network by one cycle. */
+    void step(std::int64_t cycle);
+
+    const Mesh& mesh() const { return mesh_; }
+    const RoutingAlgorithm& routing() const { return *routing_; }
+    const RouterParams& routerParams() const { return params_; }
+
+    Router& router(int node) { return *routers_[idx(node)]; }
+    const Router& router(int node) const { return *routers_[idx(node)]; }
+    Endpoint& endpoint(int node) { return *endpoints_[idx(node)]; }
+    const Endpoint& endpoint(int node) const
+    {
+        return *endpoints_[idx(node)];
+    }
+
+    /** Flits anywhere in the system (buffers, FIFOs, links, sinks). */
+    std::int64_t totalFlitsInFlight() const;
+
+    /** Sum of all routers' event counters. */
+    Router::Counters aggregateCounters() const;
+
+    /** Reset all routers' event counters. */
+    void resetCounters();
+
+  private:
+    static std::size_t idx(int node)
+    {
+        return static_cast<std::size_t>(node);
+    }
+
+    FlitChannel* newFlitChannel(int latency);
+    CreditChannel* newCreditChannel(int latency);
+
+    Mesh mesh_;
+    RouterParams params_;
+    std::unique_ptr<RoutingAlgorithm> routing_;
+    StatusBoard status_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<Endpoint>> endpoints_;
+    std::vector<std::unique_ptr<FlitChannel>> flitChannels_;
+    std::vector<std::unique_ptr<CreditChannel>> creditChannels_;
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_NETWORK_NETWORK_HPP

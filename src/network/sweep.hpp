@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Experiment drivers: latency-throughput curves and saturation-
+ * throughput search — the measurement procedures behind the paper's
+ * Figs. 5-9.
+ */
+
+#ifndef FOOTPRINT_NETWORK_SWEEP_HPP
+#define FOOTPRINT_NETWORK_SWEEP_HPP
+
+#include <string>
+#include <vector>
+
+#include "network/traffic_manager.hpp"
+#include "sim/config.hpp"
+
+namespace footprint {
+
+/** One point on a latency-throughput curve. */
+struct CurvePoint
+{
+    double offered = 0.0;   ///< flits/node/cycle offered
+    double accepted = 0.0;  ///< flits/node/cycle accepted
+    double latency = 0.0;   ///< average packet latency (cycles)
+    bool saturated = false;
+};
+
+/**
+ * Run the config at each offered rate and collect curve points.
+ * Points past the first clearly saturated rate are still run (their
+ * accepted throughput is meaningful) but marked saturated.
+ */
+std::vector<CurvePoint>
+latencyThroughputCurve(const SimConfig& base,
+                       const std::vector<double>& rates);
+
+/** Zero-load latency, probed at a very low injection rate. */
+double zeroLoadLatency(const SimConfig& base, double probe_rate = 0.02);
+
+/**
+ * Saturation throughput: the largest offered load (flits/node/cycle)
+ * the network sustains with average latency below
+ * @p latency_factor x zero-load latency, found by bisection to within
+ * @p tolerance. This is the quantity behind the paper's "saturation
+ * throughput improved by X%" statements.
+ */
+double saturationThroughput(const SimConfig& base,
+                            double latency_factor = 3.0,
+                            double tolerance = 0.01);
+
+/** Evenly spaced rates in [lo, hi] (inclusive), helper for benches. */
+std::vector<double> linspace(double lo, double hi, int count);
+
+/** Render curve points as aligned table rows for bench output. */
+std::string formatCurve(const std::string& label,
+                        const std::vector<CurvePoint>& points);
+
+} // namespace footprint
+
+#endif // FOOTPRINT_NETWORK_SWEEP_HPP

@@ -1,0 +1,240 @@
+#include "network/traffic_manager.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "network/network.hpp"
+#include "sim/log.hpp"
+#include "sim/rng.hpp"
+#include "traffic/injection.hpp"
+#include "traffic/pattern.hpp"
+#include "traffic/trace.hpp"
+
+namespace footprint {
+
+namespace {
+
+/** Cycles of drain inactivity after which a run is declared saturated. */
+constexpr std::int64_t kDrainStallLimit = 2500;
+
+/**
+ * Fraction of measured packets that must have ejected by the end of
+ * the measurement window for the drain phase to be worth running; a
+ * deeply saturated network (huge source backlogs) is reported
+ * saturated immediately instead of burning the whole drain budget.
+ */
+constexpr double kDrainWorthwhileFraction = 0.5;
+
+} // namespace
+
+TrafficManager::TrafficManager(const SimConfig& cfg) : cfg_(cfg) {}
+
+RunStats
+TrafficManager::run()
+{
+    Network net(cfg_);
+    const Mesh& mesh = net.mesh();
+    const int n = mesh.numNodes();
+
+    const std::string mode = cfg_.getStr("traffic");
+    const auto warmup = cfg_.getInt("warmup_cycles");
+    const auto measure = cfg_.getInt("measure_cycles");
+    const auto drain_limit = cfg_.getInt("drain_cycles");
+    const double rate = cfg_.getDouble("injection_rate");
+    const PacketSizeDist size_dist =
+        PacketSizeDist::parse(cfg_.getStr("packet_size"));
+    Rng gen(static_cast<std::uint64_t>(cfg_.getInt("seed"))
+            ^ 0x7a43f00d5eedULL);
+
+    RunStats stats;
+    stats.offeredFlitsPerNodeCycle = rate;
+
+    // --- Per-mode setup. ---
+    std::unique_ptr<TrafficPattern> pattern;
+    std::unique_ptr<TrafficPattern> background_pattern;
+    std::unique_ptr<BernoulliInjection> inj;
+    std::unique_ptr<BernoulliInjection> bg_inj;
+    std::vector<std::pair<int, int>> hotspot_flows;
+    std::set<int> hotspot_sources;
+    std::unique_ptr<TraceReader> trace;
+    std::optional<TraceEvent> pending;
+
+    const bool is_trace = mode == "trace";
+    const bool is_hotspot = mode == "hotspot";
+    if (is_trace) {
+        trace = std::make_unique<TraceReader>(cfg_.getStr("trace_file"));
+        pending = trace->next();
+    } else if (is_hotspot) {
+        hotspot_flows = defaultHotspotFlows(mesh);
+        for (const auto& flow : hotspot_flows)
+            hotspot_sources.insert(flow.first);
+        const double bg_rate = cfg_.contains("background_rate")
+            ? cfg_.getDouble("background_rate")
+            : 0.3;
+        background_pattern = makeTrafficPattern("uniform", mesh);
+        inj = std::make_unique<BernoulliInjection>(rate,
+                                                   size_dist.mean());
+        bg_inj = std::make_unique<BernoulliInjection>(bg_rate,
+                                                      size_dist.mean());
+    } else {
+        pattern = makeTrafficPattern(mode, mesh);
+        inj = std::make_unique<BernoulliInjection>(rate,
+                                                   size_dist.mean());
+    }
+
+    std::uint64_t next_packet_id = 1;
+    auto make_packet = [&](int src, int dest, int size,
+                           std::int64_t cycle, FlowClass fc,
+                           bool measured) {
+        Packet p;
+        p.id = next_packet_id++;
+        p.src = src;
+        p.dest = dest;
+        p.size = size;
+        p.createTime = cycle;
+        p.flowClass = fc;
+        p.measured = measured;
+        if (measured)
+            ++stats.measuredCreated;
+        net.endpoint(src).enqueue(p);
+    };
+
+    // --- Main loop. ---
+    std::uint64_t flits_at_measure_start = 0;
+    std::uint64_t flits_at_measure_end = 0;
+    std::int64_t trace_end_cycle = -1;
+    std::int64_t last_progress_cycle = 0;
+    std::int64_t cycle = 0;
+    const std::int64_t hard_limit = warmup + measure + drain_limit;
+
+    for (; cycle < hard_limit; ++cycle) {
+        const bool measuring = cycle >= warmup
+            && cycle < warmup + measure;
+
+        // Generate traffic.
+        if (is_trace) {
+            while (pending && pending->cycle <= cycle) {
+                // Trace events carry their own packet size.
+                make_packet(pending->src, pending->dest, pending->size,
+                            cycle, FlowClass::Background, true);
+                pending = trace->next();
+            }
+            if (!pending && trace_end_cycle < 0)
+                trace_end_cycle = cycle;
+        } else if (is_hotspot) {
+            for (const auto& flow : hotspot_flows) {
+                if (inj->fires(gen)) {
+                    make_packet(flow.first, flow.second,
+                                size_dist.sample(gen), cycle,
+                                FlowClass::Hotspot, false);
+                }
+            }
+            for (int node = 0; node < n; ++node) {
+                if (hotspot_sources.count(node) > 0)
+                    continue;
+                if (bg_inj->fires(gen)) {
+                    const int dest = background_pattern->dest(node, gen);
+                    if (dest >= 0) {
+                        make_packet(node, dest,
+                                    size_dist.sample(gen), cycle,
+                                    FlowClass::Background, measuring);
+                    }
+                }
+            }
+        } else {
+            for (int node = 0; node < n; ++node) {
+                if (inj->fires(gen)) {
+                    const int dest = pattern->dest(node, gen);
+                    if (dest >= 0) {
+                        make_packet(node, dest,
+                                    size_dist.sample(gen), cycle,
+                                    FlowClass::Background, measuring);
+                    }
+                }
+            }
+        }
+
+        if (cycle == warmup) {
+            net.resetCounters();
+            for (int node = 0; node < n; ++node) {
+                flits_at_measure_start +=
+                    net.endpoint(node).flitsEjected();
+            }
+        }
+
+        net.step(cycle);
+
+        // Collect completions.
+        for (int node = 0; node < n; ++node) {
+            for (const EjectedPacket& p :
+                 net.endpoint(node).drainEjected()) {
+                if (p.flowClass == FlowClass::Hotspot) {
+                    stats.hotspotLatency.add(
+                        static_cast<double>(p.latency()));
+                }
+                if (!p.measured)
+                    continue;
+                ++stats.measuredEjected;
+                last_progress_cycle = cycle;
+                stats.latency.add(static_cast<double>(p.latency()));
+                stats.latencyHist.add(static_cast<double>(p.latency()));
+                stats.hops.add(static_cast<double>(p.hops));
+            }
+        }
+
+        if (cycle == warmup + measure - 1) {
+            stats.counters = net.aggregateCounters();
+            flits_at_measure_end = 0;
+            for (int node = 0; node < n; ++node) {
+                flits_at_measure_end +=
+                    net.endpoint(node).flitsEjected();
+            }
+            // Deeply saturated (most measured packets still stuck in
+            // source queues): draining would take unbounded time, so
+            // report saturation right away.
+            if (!is_trace
+                && static_cast<double>(stats.measuredEjected)
+                    < kDrainWorthwhileFraction
+                        * static_cast<double>(stats.measuredCreated)) {
+                ++cycle;
+                break;
+            }
+        }
+
+        // Termination: all measured packets drained.
+        const bool gen_done = is_trace
+            ? (!pending && cycle >= warmup + measure)
+            : (cycle >= warmup + measure);
+        if (gen_done && stats.measuredEjected >= stats.measuredCreated) {
+            stats.drained = true;
+            ++cycle;
+            break;
+        }
+        // Saturation heuristic: no measured packet completed for a
+        // long stretch of the drain phase.
+        if (gen_done && cycle - std::max(last_progress_cycle,
+                                         warmup + measure)
+                > kDrainStallLimit) {
+            break;
+        }
+    }
+
+    stats.cyclesRun = cycle;
+    stats.saturated = !stats.drained;
+    if (measure > 0 && flits_at_measure_end >= flits_at_measure_start) {
+        stats.acceptedFlitsPerNodeCycle =
+            static_cast<double>(flits_at_measure_end
+                                - flits_at_measure_start)
+            / (static_cast<double>(n) * static_cast<double>(measure));
+    }
+    return stats;
+}
+
+RunStats
+runExperiment(const SimConfig& cfg)
+{
+    TrafficManager tm(cfg);
+    return tm.run();
+}
+
+} // namespace footprint

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Arbitration primitives: a round-robin arbiter (switch allocation and
+ * tie-breaking) and a priority arbiter with round-robin tie-break (the
+ * priority-based VC allocator Algorithm 1 drives).
+ */
+
+#ifndef FOOTPRINT_ROUTER_ALLOCATORS_HPP
+#define FOOTPRINT_ROUTER_ALLOCATORS_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace footprint {
+
+/**
+ * Classic round-robin arbiter over a fixed number of requesters.
+ * The grant pointer advances past the winner, guaranteeing fairness.
+ */
+class RoundRobinArbiter
+{
+  public:
+    explicit RoundRobinArbiter(int num_requesters = 0);
+
+    void resize(int num_requesters);
+    int size() const { return static_cast<int>(size_); }
+
+    /**
+     * Arbitrate among the requesters flagged in @p requests.
+     *
+     * @param requests requests[i] true if requester i is requesting.
+     * @return winning requester index, or -1 if none requested.
+     */
+    int arbitrate(const std::vector<bool>& requests);
+
+    /** Current position of the grant pointer (for tests). */
+    int pointer() const { return pointer_; }
+
+  private:
+    std::size_t size_;
+    int pointer_;
+};
+
+/**
+ * Priority arbiter with round-robin tie-break.
+ *
+ * Grants the requester with the numerically largest priority; among
+ * equal-priority requesters a per-arbiter round-robin pointer breaks
+ * the tie. This is the output-VC-side arbiter of the separable,
+ * priority-based VC allocator.
+ */
+class PriorityArbiter
+{
+  public:
+    explicit PriorityArbiter(int num_requesters = 0);
+
+    void resize(int num_requesters);
+
+    /** Remove all requests (call before each allocation round). */
+    void clearRequests();
+
+    /** Register a request from @p requester at @p priority (>= 0). */
+    void addRequest(int requester, int priority);
+
+    bool hasRequests() const { return anyRequest_; }
+
+    /**
+     * @return winner among current requests (-1 if none); advances the
+     * round-robin pointer past the winner.
+     */
+    int arbitrate();
+
+  private:
+    std::vector<int> priorities_;  ///< -1 when not requesting
+    bool anyRequest_;
+    int pointer_;
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_ROUTER_ALLOCATORS_HPP

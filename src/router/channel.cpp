@@ -1,0 +1,10 @@
+#include "router/channel.hpp"
+
+namespace footprint {
+
+// Explicit instantiations for the two channel types used by the
+// network, so template code is compiled (and warned about) once here.
+template class Pipe<Flit>;
+template class Pipe<Credit>;
+
+} // namespace footprint

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fixed-latency pipelined channels carrying flits (forward) and credits
+ * (backward) between routers and endpoints.
+ *
+ * A channel is written during the transmit phase of cycle t and the
+ * payload becomes visible to the receiver during the receive phase of
+ * cycle t + latency. Channels accept at most one payload per cycle,
+ * modelling a single physical link.
+ */
+
+#ifndef FOOTPRINT_ROUTER_CHANNEL_HPP
+#define FOOTPRINT_ROUTER_CHANNEL_HPP
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "router/flit.hpp"
+
+namespace footprint {
+
+/**
+ * A fixed-latency pipe carrying one item per cycle.
+ *
+ * @tparam T payload type (Flit or Credit).
+ */
+template <typename T>
+class Pipe
+{
+  public:
+    explicit Pipe(int latency = 1) : latency_(latency) {}
+
+    int latency() const { return latency_; }
+
+    /** Send @p item at @p cycle; at most one send per cycle. */
+    void
+    send(const T& item, std::int64_t cycle)
+    {
+        inFlight_.push_back(Entry{cycle + latency_, item});
+    }
+
+    /**
+     * Receive the item (if any) arriving at @p cycle.
+     * Must be polled every cycle so arrivals are consumed in order.
+     */
+    std::optional<T>
+    receive(std::int64_t cycle)
+    {
+        if (inFlight_.empty() || inFlight_.front().readyCycle > cycle)
+            return std::nullopt;
+        T item = inFlight_.front().payload;
+        inFlight_.pop_front();
+        return item;
+    }
+
+    bool empty() const { return inFlight_.empty(); }
+    std::size_t inFlightCount() const { return inFlight_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::int64_t readyCycle;
+        T payload;
+    };
+
+    int latency_;
+    std::deque<Entry> inFlight_;
+};
+
+using FlitChannel = Pipe<Flit>;
+using CreditChannel = Pipe<Credit>;
+
+} // namespace footprint
+
+#endif // FOOTPRINT_ROUTER_CHANNEL_HPP

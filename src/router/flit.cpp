@@ -1,0 +1,38 @@
+#include "router/flit.hpp"
+
+#include <sstream>
+
+#include "sim/log.hpp"
+
+namespace footprint {
+
+std::string
+Flit::toString() const
+{
+    std::ostringstream oss;
+    oss << "flit[pkt=" << packetId << " " << src << "->" << dest
+        << (head ? " H" : "") << (tail ? " T" : "") << " vc=" << vc
+        << " hops=" << hops << "]";
+    return oss.str();
+}
+
+Flit
+makeFlit(const Packet& pkt, int index)
+{
+    FP_ASSERT(index >= 0 && index < pkt.size,
+              "flit index " << index << " out of packet of size "
+                            << pkt.size);
+    Flit f;
+    f.packetId = pkt.id;
+    f.src = pkt.src;
+    f.dest = pkt.dest;
+    f.head = (index == 0);
+    f.tail = (index == pkt.size - 1);
+    f.packetSize = pkt.size;
+    f.createTime = pkt.createTime;
+    f.flowClass = pkt.flowClass;
+    f.measured = pkt.measured;
+    return f;
+}
+
+} // namespace footprint

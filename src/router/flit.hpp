@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Packet and flit types plus credit messages — the units of transfer in
+ * the wormhole, credit-based flow-controlled network.
+ */
+
+#ifndef FOOTPRINT_ROUTER_FLIT_HPP
+#define FOOTPRINT_ROUTER_FLIT_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace footprint {
+
+/** Traffic classes used by the measurement apparatus. */
+enum class FlowClass : int {
+    Background = 0,  ///< regular / background traffic (latency measured)
+    Hotspot = 1,     ///< persistent hotspot flows (latency ignored)
+};
+
+/**
+ * A packet as created by a traffic source. Packets are segmented into
+ * flits at injection; the Packet itself never travels through the
+ * network.
+ */
+struct Packet
+{
+    std::uint64_t id = 0;
+    int src = -1;
+    int dest = -1;
+    int size = 1;                   ///< length in flits (>= 1)
+    std::int64_t createTime = 0;    ///< cycle the source generated it
+    FlowClass flowClass = FlowClass::Background;
+    bool measured = false;          ///< counted in latency statistics
+};
+
+/**
+ * A flit in flight. Single-flit packets have head == tail == true.
+ *
+ * The vc field is context-dependent: on a channel it names the
+ * downstream input VC the flit is destined for; inside an input buffer
+ * it names the VC the flit occupies.
+ */
+struct Flit
+{
+    std::uint64_t packetId = 0;
+    int src = -1;
+    int dest = -1;
+    bool head = false;
+    bool tail = false;
+    int packetSize = 1;
+    std::int64_t createTime = 0;
+    std::int64_t injectTime = -1;   ///< cycle the flit left the source
+    FlowClass flowClass = FlowClass::Background;
+    bool measured = false;
+    int vc = -1;
+    int hops = 0;
+
+    std::string toString() const;
+};
+
+/** A credit returned upstream when an input-buffer slot frees. */
+struct Credit
+{
+    int vc = -1;
+};
+
+/** Build the flit sequence for @p pkt (head..body..tail). */
+Flit makeFlit(const Packet& pkt, int index);
+
+} // namespace footprint
+
+#endif // FOOTPRINT_ROUTER_FLIT_HPP

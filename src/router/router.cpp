@@ -1,0 +1,527 @@
+#include "router/router.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace footprint {
+
+Router::Router(const Mesh& mesh, int node, const RouterParams& params,
+               const RoutingAlgorithm* routing, std::uint64_t seed,
+               const StatusProvider* status)
+    : mesh_(&mesh), node_(node), params_(params), routing_(routing),
+      status_(status),
+      rng_(seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(node))
+{
+    FP_ASSERT(params.numVcs >= 1 && params.numVcs <= 64,
+              "numVcs must be in [1, 64]");
+    FP_ASSERT(params.vcBufSize >= 1, "vcBufSize must be positive");
+    for (auto& in : inputs_) {
+        in.vcs.resize(static_cast<std::size_t>(params.numVcs));
+        in.saArbiter.resize(params.numVcs);
+        in.requests.resize(static_cast<std::size_t>(params.numVcs));
+    }
+    for (auto& out : outputs_) {
+        out.vcs.assign(static_cast<std::size_t>(params.numVcs),
+                       OutVcState(params.vcBufSize));
+        out.saArbiter.resize(kNumPorts);
+    }
+    neighborNode_.fill(-1);
+
+    const auto total_vcs =
+        static_cast<std::size_t>(kNumPorts * params.numVcs);
+    vcRequesters_.resize(total_vcs);
+    vcRrPtr_.assign(total_vcs, 0);
+    bestGrant_.resize(total_vcs);
+    saElig_.resize(static_cast<std::size_t>(params.numVcs));
+    saReq_.resize(kNumPorts);
+    destConvergence_.assign(static_cast<std::size_t>(mesh.numNodes()),
+                            0);
+}
+
+void
+Router::connectInput(int port, FlitChannel* flit_in,
+                     CreditChannel* credit_out)
+{
+    inputs_.at(static_cast<std::size_t>(port)).flitIn = flit_in;
+    inputs_.at(static_cast<std::size_t>(port)).creditOut = credit_out;
+}
+
+void
+Router::connectOutput(int port, FlitChannel* flit_out,
+                      CreditChannel* credit_in)
+{
+    outputs_.at(static_cast<std::size_t>(port)).flitOut = flit_out;
+    outputs_.at(static_cast<std::size_t>(port)).creditIn = credit_in;
+}
+
+void
+Router::setNeighbor(int port, int node)
+{
+    neighborNode_.at(static_cast<std::size_t>(port)) = node;
+}
+
+void
+Router::receivePhase(std::int64_t cycle)
+{
+    for (auto& in : inputs_) {
+        if (!in.flitIn)
+            continue;
+        while (auto f = in.flitIn->receive(cycle)) {
+            FP_ASSERT(f->vc >= 0 && f->vc < params_.numVcs,
+                      "flit arrived with bad VC " << f->vc);
+            InputVc& ivc = in.vcs[static_cast<std::size_t>(f->vc)];
+            FP_ASSERT(static_cast<int>(ivc.occupancy())
+                          < params_.vcBufSize,
+                      "input VC buffer overflow (credit protocol bug)");
+            ivc.buffer.push_back(*f);
+        }
+    }
+    for (auto& out : outputs_) {
+        if (!out.creditIn)
+            continue;
+        while (auto c = out.creditIn->receive(cycle)) {
+            FP_ASSERT(c->vc >= 0 && c->vc < params_.numVcs,
+                      "credit arrived with bad VC " << c->vc);
+            out.vcs[static_cast<std::size_t>(c->vc)].returnCredit();
+        }
+    }
+}
+
+void
+Router::computePhase(std::int64_t cycle)
+{
+    cycle_ = cycle;
+    runVcAllocation();
+    runSwitchAllocation();
+}
+
+void
+Router::runVcAllocation()
+{
+    const bool atomic = routing_->atomicVcAlloc();
+    const int num_vcs = params_.numVcs;
+    const int total_ids = kNumPorts * num_vcs;
+
+    // Refresh the per-destination convergence counters: the number of
+    // input VCs holding flits to each destination. Two or more means
+    // traffic to that destination is accumulating at this router —
+    // either converging flows or a backlogged (blocked-downstream)
+    // stream, both of which Footprint confines to footprint lanes.
+    // Then gather requests from every input VC whose head flit waits
+    // for an output VC. The routing function is re-evaluated every
+    // cycle so adaptive decisions (and Footprint's priorities) track
+    // the live occupancy state.
+    for (const int dest : destWaitTouched_)
+        destConvergence_[static_cast<std::size_t>(dest)] = 0;
+    destWaitTouched_.clear();
+    for (int ip = 0; ip < kNumPorts; ++ip) {
+        InputPort& in = inputs_[static_cast<std::size_t>(ip)];
+        for (int v = 0; v < num_vcs; ++v) {
+            const InputVc& ivc = in.vcs[static_cast<std::size_t>(v)];
+            if (ivc.empty())
+                continue;
+            const auto dest =
+                static_cast<std::size_t>(ivc.front().dest);
+            if (destConvergence_[dest]++ == 0)
+                destWaitTouched_.push_back(static_cast<int>(dest));
+        }
+    }
+
+    // Output-VC state is constant throughout request gathering, so
+    // the per-port masks the routing functions consult can be computed
+    // once per cycle.
+    for (int p = 0; p < kNumPorts; ++p) {
+        cachedIdle_[static_cast<std::size_t>(p)] =
+            computeIdleVcMask(p);
+        cachedOccupied_[static_cast<std::size_t>(p)] =
+            computeOccupiedVcMask(p);
+        cachedZeroCredit_[static_cast<std::size_t>(p)] =
+            computeZeroCreditVcMask(p);
+    }
+    maskCacheValid_ = true;
+
+    waiting_.clear();
+    for (int ip = 0; ip < kNumPorts; ++ip) {
+        InputPort& in = inputs_[static_cast<std::size_t>(ip)];
+        for (int v = 0; v < num_vcs; ++v) {
+            InputVc& ivc = in.vcs[static_cast<std::size_t>(v)];
+            if (ivc.state == InputVc::State::Idle && !ivc.empty()) {
+                FP_ASSERT(ivc.front().head,
+                          "non-head flit at front of idle VC");
+                ivc.state = InputVc::State::VcAlloc;
+            }
+            if (ivc.state != InputVc::State::VcAlloc)
+                continue;
+            OutputSet& set = in.requests[static_cast<std::size_t>(v)];
+            set.clear();
+            routing_->route(*this, ivc.front(), set);
+            if (!set.empty())
+                waiting_.emplace_back(ip, v);
+        }
+    }
+    maskCacheValid_ = false;
+    if (waiting_.empty())
+        return;
+
+    // Which output VCs can be allocated right now.
+    VcMask alloc_mask[kNumPorts];
+    for (int op = 0; op < kNumPorts; ++op) {
+        const OutputPort& out = outputs_[static_cast<std::size_t>(op)];
+        VcMask m = 0;
+        for (int ov = 0; ov < num_vcs; ++ov) {
+            if (out.vcs[static_cast<std::size_t>(ov)].allocatable(
+                    atomic)) {
+                m |= VcMask{1} << ov;
+            }
+        }
+        alloc_mask[op] = m;
+    }
+
+    // Scatter requests onto the allocatable output VCs they target.
+    for (const auto& [ip, v] : waiting_) {
+        const int id = ip * num_vcs + v;
+        bestGrant_[static_cast<std::size_t>(id)] = VaGrant{};
+        const OutputSet& set = inputs_[static_cast<std::size_t>(ip)]
+                                   .requests[static_cast<std::size_t>(v)];
+        for (const VcRequest& r : set.requests()) {
+            VcMask m = r.vcs
+                & alloc_mask[static_cast<std::size_t>(r.port)];
+            while (m != 0) {
+                const int ov = std::countr_zero(m);
+                m &= m - 1;
+                const auto idx =
+                    static_cast<std::size_t>(r.port * num_vcs + ov);
+                if (vcRequesters_[idx].empty())
+                    touchedOutVcs_.push_back(static_cast<int>(idx));
+                vcRequesters_[idx].emplace_back(
+                    id, static_cast<int>(r.priority));
+            }
+        }
+    }
+
+    // Output-side arbitration: each requested output VC offers itself
+    // to its highest-priority requester (round-robin tie-break), then
+    // each input VC accepts its best offer; declined output VCs stay
+    // free this cycle.
+    for (const int idx : touchedOutVcs_) {
+        auto& list = vcRequesters_[static_cast<std::size_t>(idx)];
+        const int ptr = vcRrPtr_[static_cast<std::size_t>(idx)];
+        int best_id = -1;
+        int best_pri = -1;
+        int best_dist = total_ids;
+        for (const auto& [id, pri] : list) {
+            const int dist = (id - ptr + total_ids) % total_ids;
+            if (pri > best_pri
+                || (pri == best_pri && dist < best_dist)) {
+                best_pri = pri;
+                best_dist = dist;
+                best_id = id;
+            }
+        }
+        list.clear();
+        if (best_id < 0)
+            continue;
+        vcRrPtr_[static_cast<std::size_t>(idx)] =
+            (best_id + 1) % total_ids;
+        VaGrant& g = bestGrant_[static_cast<std::size_t>(best_id)];
+        const auto pri = static_cast<Priority>(best_pri);
+        if (g.outPort < 0 || pri > g.priority) {
+            g.outPort = idx / num_vcs;
+            g.outVc = idx % num_vcs;
+            g.priority = pri;
+        }
+    }
+    touchedOutVcs_.clear();
+
+    // Commit accepted grants; record blocking events for the rest.
+    for (const auto& [ip, v] : waiting_) {
+        const int id = ip * num_vcs + v;
+        InputVc& ivc = inputs_[static_cast<std::size_t>(ip)]
+                           .vcs[static_cast<std::size_t>(v)];
+        const VaGrant& g = bestGrant_[static_cast<std::size_t>(id)];
+        if (g.outPort >= 0) {
+            ivc.state = InputVc::State::Active;
+            ivc.outPort = g.outPort;
+            ivc.outVc = g.outVc;
+            outputs_[static_cast<std::size_t>(g.outPort)]
+                .vcs[static_cast<std::size_t>(g.outVc)]
+                .allocate(ivc.front().dest);
+            ++counters_.vcAllocSuccess;
+        } else {
+            // Blocking event: VC allocation failed this cycle. Sample
+            // the purity of blocking (footprint share of busy VCs) on
+            // the packet's primary requested port.
+            ++counters_.vcAllocFail;
+            const OutputSet& set =
+                inputs_[static_cast<std::size_t>(ip)]
+                    .requests[static_cast<std::size_t>(v)];
+            const int port = set.requests().front().port;
+            const VcMask occ_mask = occupiedVcMask(port);
+            const int occ = popcount(occ_mask);
+            if (occ > 0) {
+                // Purity counts footprint VCs among *busy* VCs only.
+                const int fp = popcount(
+                    footprintVcMask(port, ivc.front().dest) & occ_mask);
+                counters_.puritySum += static_cast<double>(fp)
+                    / static_cast<double>(occ);
+                ++counters_.puritySamples;
+            }
+        }
+    }
+}
+
+void
+Router::runSwitchAllocation()
+{
+    const int num_vcs = params_.numVcs;
+    std::vector<bool>& vc_elig = saElig_;
+    std::vector<bool>& port_req = saReq_;
+    std::array<int, kNumPorts> winner_vc{};
+
+    for (int pass = 0; pass < params_.internalSpeedup; ++pass) {
+        // Input-side: each input port nominates one eligible VC.
+        for (int ip = 0; ip < kNumPorts; ++ip) {
+            InputPort& in = inputs_[static_cast<std::size_t>(ip)];
+            bool any = false;
+            for (int v = 0; v < num_vcs; ++v) {
+                const InputVc& ivc = in.vcs[static_cast<std::size_t>(v)];
+                bool ok = ivc.state == InputVc::State::Active
+                    && !ivc.empty();
+                if (ok) {
+                    const OutputPort& out = outputs_[
+                        static_cast<std::size_t>(ivc.outPort)];
+                    ok = out.vcs[static_cast<std::size_t>(ivc.outVc)]
+                                 .credits() > 0
+                        && static_cast<int>(out.fifo.size())
+                            < params_.outputFifoSize;
+                }
+                vc_elig[static_cast<std::size_t>(v)] = ok;
+                any = any || ok;
+            }
+            winner_vc[static_cast<std::size_t>(ip)] =
+                any ? in.saArbiter.arbitrate(vc_elig) : -1;
+        }
+
+        // Output-side: each output port accepts one input port.
+        bool moved = false;
+        for (int op = 0; op < kNumPorts; ++op) {
+            bool any = false;
+            for (int ip = 0; ip < kNumPorts; ++ip) {
+                const int v = winner_vc[static_cast<std::size_t>(ip)];
+                const bool req = v >= 0
+                    && inputs_[static_cast<std::size_t>(ip)]
+                           .vcs[static_cast<std::size_t>(v)]
+                           .outPort == op;
+                port_req[static_cast<std::size_t>(ip)] = req;
+                any = any || req;
+            }
+            if (!any)
+                continue;
+            OutputPort& out = outputs_[static_cast<std::size_t>(op)];
+            const int wip = out.saArbiter.arbitrate(port_req);
+            if (wip >= 0) {
+                moveFlit(wip, winner_vc[static_cast<std::size_t>(wip)]);
+                moved = true;
+            }
+        }
+        if (!moved)
+            break;
+    }
+}
+
+void
+Router::moveFlit(int in_port, int in_vc)
+{
+    InputPort& in = inputs_[static_cast<std::size_t>(in_port)];
+    InputVc& ivc = in.vcs[static_cast<std::size_t>(in_vc)];
+    FP_ASSERT(ivc.state == InputVc::State::Active && !ivc.empty(),
+              "moving flit from inactive VC");
+
+    Flit f = ivc.buffer.front();
+    ivc.buffer.pop_front();
+
+    OutputPort& out = outputs_[static_cast<std::size_t>(ivc.outPort)];
+    OutVcState& ovc = out.vcs[static_cast<std::size_t>(ivc.outVc)];
+    f.vc = ivc.outVc;
+    ++f.hops;
+    ovc.consumeCredit();
+    if (f.tail) {
+        ovc.tailSent();
+        ivc.releaseRoute();
+    }
+    out.fifo.push_back(f);
+    ++counters_.flitsTraversed;
+
+    // The input-buffer slot frees: return a credit upstream.
+    if (in.creditOut)
+        in.creditOut->send(Credit{in_vc}, cycle_);
+}
+
+void
+Router::transmitPhase(std::int64_t cycle)
+{
+    for (auto& out : outputs_) {
+        if (!out.flitOut || out.fifo.empty())
+            continue;
+        out.flitOut->send(out.fifo.front(), cycle);
+        out.fifo.pop_front();
+    }
+}
+
+VcMask
+Router::computeIdleVcMask(int port) const
+{
+    const OutputPort& out = outputs_[static_cast<std::size_t>(port)];
+    VcMask m = 0;
+    for (int v = 0; v < params_.numVcs; ++v) {
+        if (out.vcs[static_cast<std::size_t>(v)].idle())
+            m |= VcMask{1} << v;
+    }
+    return m;
+}
+
+VcMask
+Router::idleVcMask(int port) const
+{
+    return maskCacheValid_
+        ? cachedIdle_[static_cast<std::size_t>(port)]
+        : computeIdleVcMask(port);
+}
+
+VcMask
+Router::footprintVcMask(int port, int dest) const
+{
+    // Owner registers persist after a VC drains (they are only
+    // overwritten on reallocation, as the Sec. 4.4 hardware does), so a
+    // freshly drained VC remains a footprint VC for its destination
+    // until another packet claims it.
+    const OutputPort& out = outputs_[static_cast<std::size_t>(port)];
+    VcMask m = 0;
+    for (int v = 0; v < params_.numVcs; ++v) {
+        const OutVcState& s = out.vcs[static_cast<std::size_t>(v)];
+        if (s.ownerDest() == dest)
+            m |= VcMask{1} << v;
+    }
+    return m;
+}
+
+VcMask
+Router::computeOccupiedVcMask(int port) const
+{
+    const OutputPort& out = outputs_[static_cast<std::size_t>(port)];
+    VcMask m = 0;
+    for (int v = 0; v < params_.numVcs; ++v) {
+        if (out.vcs[static_cast<std::size_t>(v)].occupied())
+            m |= VcMask{1} << v;
+    }
+    return m;
+}
+
+VcMask
+Router::occupiedVcMask(int port) const
+{
+    return maskCacheValid_
+        ? cachedOccupied_[static_cast<std::size_t>(port)]
+        : computeOccupiedVcMask(port);
+}
+
+VcMask
+Router::computeZeroCreditVcMask(int port) const
+{
+    const OutputPort& out = outputs_[static_cast<std::size_t>(port)];
+    VcMask m = 0;
+    for (int v = 0; v < params_.numVcs; ++v) {
+        if (out.vcs[static_cast<std::size_t>(v)].credits() == 0)
+            m |= VcMask{1} << v;
+    }
+    return m;
+}
+
+VcMask
+Router::zeroCreditVcMask(int port) const
+{
+    return maskCacheValid_
+        ? cachedZeroCredit_[static_cast<std::size_t>(port)]
+        : computeZeroCreditVcMask(port);
+}
+
+int
+Router::convergingInputs(int dest) const
+{
+    return destConvergence_[static_cast<std::size_t>(dest)];
+}
+
+int
+Router::remoteIdleCount(int through_port, int port) const
+{
+    const int nbr = neighborNode_[static_cast<std::size_t>(through_port)];
+    if (nbr < 0 || !status_)
+        return -1;
+    return status_->idleCount(nbr, port);
+}
+
+int
+Router::idleVcCount(int port) const
+{
+    return popcount(idleVcMask(port));
+}
+
+int
+Router::outVcOwner(int port, int vc) const
+{
+    const OutVcState& s = outputs_[static_cast<std::size_t>(port)]
+                              .vcs[static_cast<std::size_t>(vc)];
+    return s.occupied() ? s.ownerDest() : -1;
+}
+
+bool
+Router::outVcOccupied(int port, int vc) const
+{
+    return outputs_[static_cast<std::size_t>(port)]
+        .vcs[static_cast<std::size_t>(vc)]
+        .occupied();
+}
+
+int
+Router::inputOccupancy(int port, int vc) const
+{
+    return static_cast<int>(inputs_[static_cast<std::size_t>(port)]
+                                .vcs[static_cast<std::size_t>(vc)]
+                                .occupancy());
+}
+
+int
+Router::inputFrontDest(int port, int vc) const
+{
+    const InputVc& ivc = inputs_[static_cast<std::size_t>(port)]
+                             .vcs[static_cast<std::size_t>(vc)];
+    return ivc.empty() ? -1 : ivc.front().dest;
+}
+
+bool
+Router::inputHoldsDest(int port, int vc, int dest) const
+{
+    const InputVc& ivc = inputs_[static_cast<std::size_t>(port)]
+                             .vcs[static_cast<std::size_t>(vc)];
+    for (const Flit& f : ivc.buffer) {
+        if (f.dest == dest)
+            return true;
+    }
+    return false;
+}
+
+int
+Router::totalBufferedFlits() const
+{
+    int total = 0;
+    for (const auto& in : inputs_) {
+        for (const auto& vc : in.vcs)
+            total += static_cast<int>(vc.occupancy());
+    }
+    for (const auto& out : outputs_)
+        total += static_cast<int>(out.fifo.size());
+    return total;
+}
+
+} // namespace footprint

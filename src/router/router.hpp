@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Input-queued virtual-channel router with credit-based wormhole flow
+ * control, a priority-based separable VC allocator, a round-robin
+ * switch allocator with internal speedup, and the per-output-VC owner
+ * registers Footprint routing relies on.
+ */
+
+#ifndef FOOTPRINT_ROUTER_ROUTER_HPP
+#define FOOTPRINT_ROUTER_ROUTER_HPP
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "router/allocators.hpp"
+#include "router/channel.hpp"
+#include "router/vc_state.hpp"
+#include "routing/routing.hpp"
+#include "sim/rng.hpp"
+#include "topo/mesh.hpp"
+
+namespace footprint {
+
+/**
+ * One-cycle-delayed per-router status (idle-VC counts per output
+ * port), modelling the side-band wires adaptive algorithms like DBAR
+ * use to see one hop ahead.
+ */
+class StatusProvider
+{
+  public:
+    virtual ~StatusProvider() = default;
+
+    /** Idle-VC count of @p port at @p node as of the previous cycle. */
+    virtual int idleCount(int node, int port) const = 0;
+};
+
+/** Router microarchitecture parameters (Table 2). */
+struct RouterParams
+{
+    int numVcs = 10;
+    int vcBufSize = 4;
+    int internalSpeedup = 2;
+    int outputFifoSize = 8;
+};
+
+/**
+ * A 5-port (E/W/N/S/Local) input-queued VC router.
+ *
+ * Per cycle the router runs three externally sequenced phases:
+ *  - receivePhase: drain flit/credit channels into buffers,
+ *  - computePhase: routing + VC allocation + switch allocation
+ *    (internalSpeedup passes) + crossbar traversal into output FIFOs,
+ *  - transmitPhase: each output FIFO pushes one flit into its link.
+ */
+class Router : public RouterView
+{
+  public:
+    /** Event counters used by the paper's Fig. 10 analysis. */
+    struct Counters
+    {
+        std::uint64_t vcAllocSuccess = 0;
+        std::uint64_t vcAllocFail = 0;    ///< blocking events
+        double puritySum = 0.0;           ///< sum of per-event purity
+        std::uint64_t puritySamples = 0;
+        std::uint64_t flitsTraversed = 0;
+
+        /** Mean footprint share of busy VCs at blocking events. */
+        double
+        purity() const
+        {
+            return puritySamples == 0
+                ? 0.0
+                : puritySum / static_cast<double>(puritySamples);
+        }
+
+        /** Degree of HoL blocking: (1 - purity) x #blocking events. */
+        double
+        holDegree() const
+        {
+            return (1.0 - purity())
+                * static_cast<double>(vcAllocFail);
+        }
+
+        void reset() { *this = Counters{}; }
+    };
+
+    Router(const Mesh& mesh, int node, const RouterParams& params,
+           const RoutingAlgorithm* routing, std::uint64_t seed,
+           const StatusProvider* status);
+
+    /** Wire the incoming-flit and outgoing-credit channels of a port. */
+    void connectInput(int port, FlitChannel* flit_in,
+                      CreditChannel* credit_out);
+
+    /** Wire the outgoing-flit and incoming-credit channels of a port. */
+    void connectOutput(int port, FlitChannel* flit_out,
+                       CreditChannel* credit_in);
+
+    /** Record the neighbor node reachable through @p port (status). */
+    void setNeighbor(int port, int node);
+
+    void receivePhase(std::int64_t cycle);
+    void computePhase(std::int64_t cycle);
+    void transmitPhase(std::int64_t cycle);
+
+    // RouterView interface.
+    int nodeId() const override { return node_; }
+    const Mesh& mesh() const override { return *mesh_; }
+    int numVcs() const override { return params_.numVcs; }
+    int vcBufSize() const override { return params_.vcBufSize; }
+    VcMask idleVcMask(int port) const override;
+    VcMask footprintVcMask(int port, int dest) const override;
+    VcMask occupiedVcMask(int port) const override;
+    VcMask zeroCreditVcMask(int port) const override;
+    int convergingInputs(int dest) const override;
+    int remoteIdleCount(int through_port, int port) const override;
+    Rng& rng() const override { return rng_; }
+
+    /** Idle-VC count of an output port (published to the status net). */
+    int idleVcCount(int port) const;
+
+    /** Owner destination of output VC (port, vc); -1 when idle. */
+    int outVcOwner(int port, int vc) const;
+
+    /** True if output VC (port, vc) is occupied. */
+    bool outVcOccupied(int port, int vc) const;
+
+    /** Number of buffered flits in input VC (port, vc). */
+    int inputOccupancy(int port, int vc) const;
+
+    /** Destination of a flit buffered in input VC, -1 if empty. */
+    int inputFrontDest(int port, int vc) const;
+
+    /** True if any buffered flit in (port, vc) targets @p dest. */
+    bool inputHoldsDest(int port, int vc, int dest) const;
+
+    const Counters& counters() const { return counters_; }
+    void resetCounters() { counters_.reset(); }
+
+    /** Total flits buffered in the router (for drain checks). */
+    int totalBufferedFlits() const;
+
+  private:
+    struct InputPort
+    {
+        FlitChannel* flitIn = nullptr;
+        CreditChannel* creditOut = nullptr;
+        std::vector<InputVc> vcs;
+        RoundRobinArbiter saArbiter;  ///< over this port's VCs
+        std::vector<OutputSet> requests;  ///< per-VC request sets
+    };
+
+    struct OutputPort
+    {
+        FlitChannel* flitOut = nullptr;
+        CreditChannel* creditIn = nullptr;
+        std::vector<OutVcState> vcs;
+        RoundRobinArbiter saArbiter;  ///< over input ports
+        std::deque<Flit> fifo;
+    };
+
+    void runVcAllocation();
+    void runSwitchAllocation();
+    void moveFlit(int in_port, int in_vc);
+
+    /** Tentative VC-allocation grant offered to one input VC. */
+    struct VaGrant
+    {
+        int outPort = -1;
+        int outVc = -1;
+        Priority priority = Priority::Lowest;
+    };
+
+    const Mesh* mesh_;
+    int node_;
+    RouterParams params_;
+    const RoutingAlgorithm* routing_;
+    const StatusProvider* status_;
+    mutable Rng rng_;
+
+    std::array<InputPort, kNumPorts> inputs_;
+    std::array<OutputPort, kNumPorts> outputs_;
+    std::array<int, kNumPorts> neighborNode_;
+    std::int64_t cycle_ = 0;
+
+    // Per-cycle scratch state, kept as members so the per-cycle hot
+    // path performs no heap allocation.
+    std::vector<std::pair<int, int>> waiting_;  ///< (in port, in vc)
+    std::vector<std::vector<std::pair<int, int>>>
+        vcRequesters_;              ///< [port*V+vc] -> (id, priority)
+    std::vector<int> touchedOutVcs_;
+    std::vector<int> vcRrPtr_;      ///< per-output-VC tie-break pointer
+    std::vector<VaGrant> bestGrant_;  ///< per flattened input VC id
+    std::vector<bool> saElig_;
+    std::vector<bool> saReq_;
+    std::vector<std::uint8_t>
+        destConvergence_;  ///< input VCs holding flits per destination
+    std::vector<int> destWaitTouched_;  ///< dests to clear next cycle
+
+    // Per-port output-VC masks, cached for the request-gathering
+    // phase of a cycle (no output VC changes state during it). The
+    // routing functions hit these masks many times per cycle.
+    mutable std::array<VcMask, kNumPorts> cachedIdle_{};
+    mutable std::array<VcMask, kNumPorts> cachedOccupied_{};
+    mutable std::array<VcMask, kNumPorts> cachedZeroCredit_{};
+    bool maskCacheValid_ = false;
+
+    VcMask computeIdleVcMask(int port) const;
+    VcMask computeOccupiedVcMask(int port) const;
+    VcMask computeZeroCreditVcMask(int port) const;
+
+    Counters counters_;
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_ROUTER_ROUTER_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * DBAR-style fully adaptive routing (Ma et al., ISCA 2011): Duato
+ * escape channel for deadlock freedom, with output-port selection that
+ * combines local idle-VC counts with one-hop-neighbor status obtained
+ * through a side-band status network.
+ */
+
+#ifndef FOOTPRINT_ROUTING_DBAR_HPP
+#define FOOTPRINT_ROUTING_DBAR_HPP
+
+#include "routing/routing.hpp"
+
+namespace footprint {
+
+/**
+ * Fully adaptive minimal routing with DBAR's dimension-aware selection.
+ *
+ * Port selection between the two minimal candidates:
+ *  1. if exactly one candidate's local idle-VC count clears the
+ *     congestion threshold (num_vcs / 2 by default, per the paper's
+ *     methodology), that candidate wins;
+ *  2. otherwise the candidate with the larger combined score
+ *     (local idle VCs + the neighbor's idle VCs on the port the packet
+ *     would continue through) wins, ties broken randomly.
+ *
+ * VC selection is oblivious (all adaptive VCs at equal priority) — the
+ * property Footprint improves on. Deadlock freedom follows Duato's
+ * theory: VC 0 is the escape channel, routed XY, requested every hop at
+ * the lowest priority; VCs are reallocated atomically.
+ */
+class DbarRouting : public RoutingAlgorithm
+{
+  public:
+    /**
+     * @param congestion_threshold idle-VC count below which a port is
+     *        predicted congested; 0 selects num_vcs / 2 at route time.
+     * @param use_remote include the one-hop neighbor status in the
+     *        selection score (DBAR's defining feature); disabling it
+     *        yields a purely local fully adaptive baseline.
+     */
+    explicit DbarRouting(int congestion_threshold = 0,
+                         bool use_remote = true)
+        : threshold_(congestion_threshold), useRemote_(use_remote)
+    {}
+
+    std::string name() const override { return "dbar"; }
+
+    void route(const RouterView& view, const Flit& flit,
+               OutputSet& out) const override;
+
+    bool atomicVcAlloc() const override { return true; }
+    int numEscapeVcs() const override { return 1; }
+
+  private:
+    /** Neighbor's continuation port for a packet moving through
+     * @p d towards @p dest; Local if the neighbor is the destination. */
+    static Dir continuationDir(const Mesh& mesh, int node, Dir d,
+                               int dest);
+
+    int threshold_;
+    bool useRemote_;
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_ROUTING_DBAR_HPP

@@ -1,0 +1,13 @@
+#include "routing/dor.hpp"
+
+namespace footprint {
+
+void
+DorRouting::route(const RouterView& view, const Flit& flit,
+                  OutputSet& out) const
+{
+    const Dir d = dorDir(view.mesh(), view.nodeId(), flit.dest);
+    out.add(portOf(d), maskOfFirst(view.numVcs()), Priority::Low);
+}
+
+} // namespace footprint

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Deterministic dimension-order (XY) routing.
+ */
+
+#ifndef FOOTPRINT_ROUTING_DOR_HPP
+#define FOOTPRINT_ROUTING_DOR_HPP
+
+#include "routing/routing.hpp"
+
+namespace footprint {
+
+/**
+ * Dimension-order routing: packets fully traverse the X dimension
+ * before turning into Y. Deadlock-free without escape VCs, so every VC
+ * is usable and VCs are reallocated non-atomically.
+ */
+class DorRouting : public RoutingAlgorithm
+{
+  public:
+    std::string name() const override { return "dor"; }
+
+    void route(const RouterView& view, const Flit& flit,
+               OutputSet& out) const override;
+
+    bool atomicVcAlloc() const override { return false; }
+    int numEscapeVcs() const override { return 0; }
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_ROUTING_DOR_HPP

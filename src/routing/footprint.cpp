@@ -1,0 +1,175 @@
+#include "routing/footprint.hpp"
+
+#include "sim/log.hpp"
+#include "sim/rng.hpp"
+
+namespace footprint {
+
+int
+FootprintRouting::congestionThreshold(int num_vcs) const
+{
+    return threshold_ > 0 ? threshold_ : num_vcs / 2;
+}
+
+FootprintRouting::Variant
+FootprintRouting::parseVariant(const std::string& name)
+{
+    if (name == "literal")
+        return Variant::Literal;
+    if (name == "wait")
+        return Variant::Wait;
+    if (name == "converge")
+        return Variant::Converge;
+    fatal("unknown footprint variant: " + name);
+}
+
+void
+FootprintRouting::addVcRequests(const RouterView& view, int port,
+                                int dest, OutputSet& out) const
+{
+    const int num_vcs = view.numVcs();
+    const VcMask adaptive = maskOfFirst(num_vcs) & ~VcMask{1};
+
+    // Congestion is estimated from the idle-VC population of the whole
+    // physical channel; requests themselves target adaptive VCs only.
+    //
+    // Footprint sets come from the persistent per-VC owner registers
+    // (Sec. 4.4): fp_busy are VCs currently occupied by packets to the
+    // same destination; fp_free are VCs this destination drained but
+    // no other packet has claimed yet (re-usable lanes).
+    const VcMask idle_all = view.idleVcMask(port);
+    const VcMask occupied = view.occupiedVcMask(port);
+    const VcMask owner = view.footprintVcMask(port, dest) & adaptive;
+    const VcMask fp_busy = owner & occupied;
+    const VcMask fp_free = owner & idle_all;
+    const VcMask idle = idle_all & adaptive & ~owner;
+    const VcMask busy = occupied & adaptive & ~owner;
+    const int idle_count = popcount(idle_all);
+    const int fp_busy_count = popcount(fp_busy);
+    const int threshold = congestionThreshold(num_vcs);
+
+    // Footprint-VC cap (isolation extension, Sec. 4.2.5): once a
+    // destination occupies cap VCs on this port, it may not claim
+    // further VCs.
+    if (fpVcCap_ > 0 && fp_busy_count >= fpVcCap_) {
+        out.add(port, fp_busy, Priority::High);
+        out.add(port, fp_free, Priority::Reclaim);
+        return;
+    }
+
+    if (idle_count >= threshold) {
+        // Uncongested: waiting on footprint channels would only add
+        // latency, so request every adaptive VC.
+        out.add(port, adaptive, Priority::Low);
+        return;
+    }
+
+    // The port is congested. Decide whether this packet must wait on
+    // its footprint channels.
+    bool wait_on_footprints = false;
+    switch (variant_) {
+      case Variant::Literal:
+        wait_on_footprints = idle_count == 0 && fp_busy_count != 0;
+        break;
+      case Variant::Wait:
+        wait_on_footprints = fp_busy_count != 0;
+        break;
+      case Variant::Converge:
+        // "If the network is congested and packets having the same
+        // destination will be blocked downstream, then it is likely
+        // that the destination is congested" (Sec. 1): traffic to this
+        // destination accumulating at this router while the port is
+        // congested is exactly that situation. A destination may keep
+        // two lanes before waiting binds, so a regulated stream is
+        // never serialised onto a single VC (whose reallocation
+        // turnaround would cap its throughput below a link's).
+        wait_on_footprints =
+            (idle_count == 0 && fp_busy_count != 0)
+            || (fp_busy_count >= 2
+                && view.convergingInputs(dest) >= convergeThreshold_);
+        break;
+    }
+
+    if (wait_on_footprints) {
+        // Follow the footprints: wait on the destination's occupied
+        // lanes and re-claim its drained ones, but open no new VC —
+        // the congestion tree keeps its current width and every other
+        // VC stays available to other flows.
+        out.add(port, fp_busy, Priority::High);
+        out.add(port, fp_free, Priority::Reclaim);
+        return;
+    }
+
+    if (idle_count == 0) {
+        // Saturated with no footprint to follow: request every
+        // adaptive VC and queue up like ordinary adaptive routing.
+        out.add(port, adaptive, Priority::Low);
+        return;
+    }
+
+    // Moderate load: prefer the destination's own drained lanes, then
+    // idle VCs, then footprint VCs, then VCs busy with other
+    // destinations (Algorithm 1 lines 40-42, with the Reclaim
+    // refinement keeping trees in the lanes they already own).
+    out.add(port, fp_free, Priority::Reclaim);
+    out.add(port, idle, Priority::Highest);
+    out.add(port, fp_busy, Priority::High);
+    out.add(port, busy, Priority::Low);
+}
+
+void
+FootprintRouting::route(const RouterView& view, const Flit& flit,
+                        OutputSet& out) const
+{
+    const Mesh& mesh = view.mesh();
+    const int node = view.nodeId();
+
+    if (node == flit.dest) {
+        // Ejection: the same regulation applies at the local port —
+        // converging same-destination flows are precisely the endpoint
+        // congestion case.
+        addVcRequests(view, portOf(Dir::Local), flit.dest, out);
+        out.add(portOf(Dir::Local), VcMask{1}, Priority::Lowest);
+        return;
+    }
+
+    // STEP 1: legal minimal ports.
+    Dir dirs[2];
+    const int num_dirs = mesh.minimalDirsInto(node, flit.dest, dirs);
+    FP_ASSERT(num_dirs > 0, "no minimal direction but not at dest");
+
+    // STEP 2: output-port selection by (idle VCs, footprint VCs,
+    // random).
+    Dir chosen = dirs[0];
+    if (num_dirs == 2) {
+        const int pa = portOf(dirs[0]);
+        const int pb = portOf(dirs[1]);
+        const int idle_a = popcount(view.idleVcMask(pa));
+        const int idle_b = popcount(view.idleVcMask(pb));
+        if (idle_a > idle_b) {
+            chosen = dirs[0];
+        } else if (idle_a < idle_b) {
+            chosen = dirs[1];
+        } else {
+            const int fp_a =
+                popcount(view.footprintVcMask(pa, flit.dest));
+            const int fp_b =
+                popcount(view.footprintVcMask(pb, flit.dest));
+            if (fp_a > fp_b)
+                chosen = dirs[0];
+            else if (fp_a < fp_b)
+                chosen = dirs[1];
+            else
+                chosen = view.rng().nextBool(0.5) ? dirs[1] : dirs[0];
+        }
+    }
+
+    // STEP 3: prioritized VC requests on the chosen port.
+    addVcRequests(view, portOf(chosen), flit.dest, out);
+
+    // Escape channel, always requested at the lowest priority.
+    const Dir escape = dorDir(mesh, node, flit.dest);
+    out.add(portOf(escape), VcMask{1}, Priority::Lowest);
+}
+
+} // namespace footprint

@@ -1,0 +1,92 @@
+#include "routing/odd_even.hpp"
+
+#include "sim/log.hpp"
+#include "sim/rng.hpp"
+
+namespace footprint {
+
+std::vector<Dir>
+OddEvenRouting::legalDirs(const Mesh& mesh, int src, int cur, int dest)
+{
+    Dir buf[2];
+    const int n = legalDirsInto(mesh, src, cur, dest, buf);
+    return std::vector<Dir>(buf, buf + n);
+}
+
+int
+OddEvenRouting::legalDirsInto(const Mesh& mesh, int src, int cur,
+                              int dest, Dir out[2])
+{
+    if (cur == dest)
+        return 0;
+
+    const Coord cc = mesh.coordOf(cur);
+    const Coord cd = mesh.coordOf(dest);
+    const Coord cs = mesh.coordOf(src);
+
+    const int dx = cd.x - cc.x;
+    const int dy = cd.y - cc.y;
+    const Dir vertical = dy > 0 ? Dir::North : Dir::South;
+    const bool cur_even = (cc.x % 2) == 0;
+    const bool dest_even = (cd.x % 2) == 0;
+
+    int n = 0;
+    if (dx == 0) {
+        out[n++] = vertical;
+    } else if (dx > 0) {
+        // Eastbound.
+        if (dy == 0) {
+            out[n++] = Dir::East;
+        } else {
+            // An EN/ES turn at an even column is forbidden, so the
+            // vertical move is only allowed in odd columns — or in the
+            // source column, where no turn is taken.
+            if (!cur_even || cc.x == cs.x)
+                out[n++] = vertical;
+            // Keep heading east unless that would force a forbidden
+            // NW/SW turn later (destination column even and adjacent).
+            if (!dest_even || dx != 1)
+                out[n++] = Dir::East;
+        }
+    } else {
+        // Westbound: west is always legal; the vertical move is only
+        // legal in even columns (NW/SW turns forbidden in odd columns).
+        out[n++] = Dir::West;
+        if (cur_even && dy != 0)
+            out[n++] = vertical;
+    }
+
+    FP_ASSERT(n > 0, "odd-even produced no legal direction");
+    return n;
+}
+
+void
+OddEvenRouting::route(const RouterView& view, const Flit& flit,
+                      OutputSet& out) const
+{
+    const int num_vcs = view.numVcs();
+    const VcMask all = maskOfFirst(num_vcs);
+
+    if (view.nodeId() == flit.dest) {
+        out.add(portOf(Dir::Local), all, Priority::Low);
+        return;
+    }
+
+    Dir dirs[2];
+    const int num_dirs =
+        legalDirsInto(view.mesh(), flit.src, view.nodeId(), flit.dest,
+                      dirs);
+
+    int port = portOf(dirs[0]);
+    if (num_dirs == 2) {
+        const int idle_a = popcount(view.idleVcMask(portOf(dirs[0])));
+        const int idle_b = popcount(view.idleVcMask(portOf(dirs[1])));
+        if (idle_b > idle_a)
+            port = portOf(dirs[1]);
+        else if (idle_a == idle_b && view.rng().nextBool(0.5))
+            port = portOf(dirs[1]);
+    }
+    out.add(port, all, Priority::Low);
+}
+
+} // namespace footprint

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Odd-Even turn-model routing (Chiu, 2000): minimal, partially
+ * adaptive, deadlock-free without virtual-channel restrictions.
+ */
+
+#ifndef FOOTPRINT_ROUTING_ODD_EVEN_HPP
+#define FOOTPRINT_ROUTING_ODD_EVEN_HPP
+
+#include "routing/routing.hpp"
+
+namespace footprint {
+
+/**
+ * Minimal adaptive Odd-Even routing.
+ *
+ * Turn restrictions (columns are x indices):
+ *  - EN and ES turns are forbidden in even columns,
+ *  - NW and SW turns are forbidden in odd columns.
+ *
+ * Among the allowed output ports, the one with more idle VCs is chosen
+ * (the selection strategy the paper's methodology specifies), with ties
+ * broken randomly. All VCs of the chosen port are requested; no escape
+ * channel is needed, and VCs are reallocated non-atomically.
+ */
+class OddEvenRouting : public RoutingAlgorithm
+{
+  public:
+    std::string name() const override { return "oddeven"; }
+
+    void route(const RouterView& view, const Flit& flit,
+               OutputSet& out) const override;
+
+    bool atomicVcAlloc() const override { return false; }
+    int numEscapeVcs() const override { return 0; }
+
+    /**
+     * The raw Odd-Even ROUTE function: legal minimal directions from
+     * @p cur to @p dest for a packet injected at @p src. Exposed for
+     * the adaptiveness metrics and unit tests.
+     */
+    static std::vector<Dir> legalDirs(const Mesh& mesh, int src, int cur,
+                                      int dest);
+
+    /** Allocation-free variant for the router critical path. */
+    static int legalDirsInto(const Mesh& mesh, int src, int cur,
+                             int dest, Dir out[2]);
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_ROUTING_ODD_EVEN_HPP

@@ -1,0 +1,91 @@
+#include "routing/routing.hpp"
+
+#include "routing/dbar.hpp"
+#include "routing/dor.hpp"
+#include "routing/footprint.hpp"
+#include "routing/odd_even.hpp"
+#include "routing/xordet.hpp"
+#include "sim/config.hpp"
+#include "sim/log.hpp"
+
+namespace footprint {
+
+Dir
+dorDir(const Mesh& mesh, int cur, int dest)
+{
+    const Coord cc = mesh.coordOf(cur);
+    const Coord cd = mesh.coordOf(dest);
+    if (cd.x > cc.x)
+        return Dir::East;
+    if (cd.x < cc.x)
+        return Dir::West;
+    if (cd.y > cc.y)
+        return Dir::North;
+    if (cd.y < cc.y)
+        return Dir::South;
+    return Dir::Local;
+}
+
+namespace {
+
+std::unique_ptr<RoutingAlgorithm>
+makeBase(const std::string& name, const SimConfig& cfg)
+{
+    const int threshold =
+        cfg.contains("congestion_threshold")
+            ? static_cast<int>(cfg.getInt("congestion_threshold"))
+            : 0;
+    if (name == "dor")
+        return std::make_unique<DorRouting>();
+    if (name == "oddeven")
+        return std::make_unique<OddEvenRouting>();
+    if (name == "dbar") {
+        const bool remote = cfg.contains("dbar_use_remote")
+            ? cfg.getBool("dbar_use_remote")
+            : true;
+        return std::make_unique<DbarRouting>(threshold, remote);
+    }
+    if (name == "footprint") {
+        const int cap = cfg.contains("fp_vc_cap")
+            ? static_cast<int>(cfg.getInt("fp_vc_cap"))
+            : 0;
+        const FootprintRouting::Variant variant =
+            cfg.contains("fp_variant")
+                ? FootprintRouting::parseVariant(
+                      cfg.getStr("fp_variant"))
+                : FootprintRouting::Variant::Converge;
+        const int converge = cfg.contains("fp_converge_threshold")
+            ? static_cast<int>(cfg.getInt("fp_converge_threshold"))
+            : 2;
+        return std::make_unique<FootprintRouting>(threshold, cap,
+                                                  variant, converge);
+    }
+    fatal("unknown routing algorithm: " + name);
+}
+
+} // namespace
+
+std::unique_ptr<RoutingAlgorithm>
+makeRoutingAlgorithm(const std::string& name, const SimConfig& cfg)
+{
+    const std::string suffix = "+xordet";
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(),
+                     suffix) == 0) {
+        auto base =
+            makeBase(name.substr(0, name.size() - suffix.size()), cfg);
+        return std::make_unique<XordetRouting>(std::move(base));
+    }
+    return makeBase(name, cfg);
+}
+
+std::vector<std::string>
+allRoutingAlgorithmNames()
+{
+    return {
+        "dor",       "oddeven",        "dbar",         "footprint",
+        "dor+xordet", "oddeven+xordet", "dbar+xordet",
+    };
+}
+
+} // namespace footprint

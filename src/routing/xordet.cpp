@@ -1,0 +1,44 @@
+#include "routing/xordet.hpp"
+
+#include "sim/log.hpp"
+
+namespace footprint {
+
+XordetRouting::XordetRouting(std::unique_ptr<RoutingAlgorithm> base)
+    : base_(std::move(base))
+{
+    FP_ASSERT(base_ != nullptr, "xordet requires a base algorithm");
+}
+
+int
+XordetRouting::vcFor(const Mesh& mesh, int dest, int num_vcs) const
+{
+    const int escape = base_->numEscapeVcs();
+    const int usable = num_vcs - escape;
+    FP_ASSERT(usable > 0, "xordet needs at least one non-escape VC");
+    const Coord c = mesh.coordOf(dest);
+    return escape + ((c.x ^ c.y) % usable);
+}
+
+void
+XordetRouting::route(const RouterView& view, const Flit& flit,
+                     OutputSet& out) const
+{
+    OutputSet base_set;
+    base_->route(view, flit, base_set);
+
+    const VcMask mapped =
+        VcMask{1} << vcFor(view.mesh(), flit.dest, view.numVcs());
+
+    // Keep the base algorithm's port choices but restrict non-escape
+    // requests to the statically mapped VC. Escape requests (Lowest
+    // priority, by construction unique to Duato bases) pass through.
+    for (const VcRequest& r : base_set.requests()) {
+        if (base_->numEscapeVcs() > 0 && r.priority == Priority::Lowest)
+            out.add(r.port, r.vcs, r.priority);
+        else
+            out.add(r.port, mapped, Priority::Low);
+    }
+}
+
+} // namespace footprint

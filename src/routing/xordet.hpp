@@ -1,0 +1,52 @@
+/**
+ * @file
+ * XORDET-style static destination-to-VC mapping (Peñaranda et al.,
+ * 2014), layered as a combinator on top of any base routing algorithm:
+ * the base algorithm selects ports, XORDET dictates the VC.
+ */
+
+#ifndef FOOTPRINT_ROUTING_XORDET_HPP
+#define FOOTPRINT_ROUTING_XORDET_HPP
+
+#include <memory>
+
+#include "routing/routing.hpp"
+
+namespace footprint {
+
+/**
+ * +XORDET combinator.
+ *
+ * Every destination is statically hashed to one VC
+ * (vc = (x ^ y) mod usable VCs, offset past any escape VC of the base
+ * algorithm). Packets to destinations in the same class share a VC, so
+ * an endpoint congestion tree is confined to that single VC per link —
+ * the thin-branch behaviour of Fig. 2(c) — at the price of zero VC
+ * adaptiveness and reduced buffer utilisation.
+ *
+ * Escape-channel requests of the base algorithm pass through unchanged
+ * so Duato-based bases remain deadlock-free.
+ */
+class XordetRouting : public RoutingAlgorithm
+{
+  public:
+    explicit XordetRouting(std::unique_ptr<RoutingAlgorithm> base);
+
+    std::string name() const override { return base_->name() + "+xordet"; }
+
+    void route(const RouterView& view, const Flit& flit,
+               OutputSet& out) const override;
+
+    bool atomicVcAlloc() const override { return base_->atomicVcAlloc(); }
+    int numEscapeVcs() const override { return base_->numEscapeVcs(); }
+
+    /** The statically assigned VC for @p dest. */
+    int vcFor(const Mesh& mesh, int dest, int num_vcs) const;
+
+  private:
+    std::unique_ptr<RoutingAlgorithm> base_;
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_ROUTING_XORDET_HPP

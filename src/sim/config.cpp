@@ -1,0 +1,202 @@
+#include "sim/config.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/log.hpp"
+
+namespace footprint {
+
+SimConfig::SimConfig() = default;
+
+void
+SimConfig::set(const std::string& key, const std::string& value)
+{
+    values_[key] = value;
+}
+
+void
+SimConfig::setInt(const std::string& key, std::int64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+SimConfig::setDouble(const std::string& key, double value)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << value;
+    values_[key] = oss.str();
+}
+
+void
+SimConfig::setBool(const std::string& key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+bool
+SimConfig::contains(const std::string& key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+SimConfig::getStr(const std::string& key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        fatal("config key not found: " + key);
+    return it->second;
+}
+
+std::int64_t
+SimConfig::getInt(const std::string& key) const
+{
+    const std::string raw = getStr(key);
+    char* end = nullptr;
+    std::int64_t v = std::strtoll(raw.c_str(), &end, 10);
+    if (end == raw.c_str() || *end != '\0')
+        fatal("config key '" + key + "' is not an integer: " + raw);
+    return v;
+}
+
+double
+SimConfig::getDouble(const std::string& key) const
+{
+    const std::string raw = getStr(key);
+    char* end = nullptr;
+    double v = std::strtod(raw.c_str(), &end);
+    if (end == raw.c_str() || *end != '\0')
+        fatal("config key '" + key + "' is not a number: " + raw);
+    return v;
+}
+
+bool
+SimConfig::getBool(const std::string& key) const
+{
+    const std::string raw = getStr(key);
+    if (raw == "true" || raw == "1")
+        return true;
+    if (raw == "false" || raw == "0")
+        return false;
+    fatal("config key '" + key + "' is not a bool: " + raw);
+}
+
+bool
+SimConfig::parseAssignment(const std::string& arg)
+{
+    auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    set(arg.substr(0, eq), arg.substr(eq + 1));
+    return true;
+}
+
+void
+SimConfig::parseArgs(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg(argv[i]);
+        if (!parseAssignment(arg))
+            warn("ignoring non key=value argument: " + arg);
+    }
+}
+
+namespace {
+
+/** Strip leading/trailing whitespace. */
+std::string
+trim(const std::string& s)
+{
+    const auto begin = s.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = s.find_last_not_of(" \t\r\n");
+    return s.substr(begin, end - begin + 1);
+}
+
+} // namespace
+
+void
+SimConfig::loadFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open config file: " + path);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto comment = line.find('#');
+        if (comment != std::string::npos)
+            line = line.substr(0, comment);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            fatal("malformed config line " + std::to_string(line_no)
+                  + " in " + path + ": " + line);
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            fatal("empty key at config line " + std::to_string(line_no)
+                  + " in " + path);
+        set(key, value);
+    }
+}
+
+std::vector<std::string>
+SimConfig::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto& kv : values_)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::string
+SimConfig::toString() const
+{
+    std::ostringstream oss;
+    for (const auto& kv : values_)
+        oss << kv.first << " = " << kv.second << "\n";
+    return oss.str();
+}
+
+SimConfig
+defaultConfig()
+{
+    SimConfig cfg;
+    // Topology (Table 2 defaults).
+    cfg.setInt("mesh_width", 8);
+    cfg.setInt("mesh_height", 8);
+    // Router microarchitecture.
+    cfg.setInt("num_vcs", 10);
+    cfg.setInt("vc_buf_size", 4);
+    cfg.setInt("internal_speedup", 2);
+    cfg.setInt("link_latency", 1);
+    cfg.setInt("output_fifo_size", 8);
+    cfg.setInt("ejection_rate", 1); // flits/cycle drained at endpoints
+    // Routing.
+    cfg.set("routing", "footprint");
+    cfg.setInt("fp_vc_cap", 0);        // 0 = unlimited footprint VCs
+    cfg.setInt("congestion_threshold", 0); // 0 = auto (num_vcs / 2)
+    // Traffic.
+    cfg.set("traffic", "uniform");
+    cfg.setDouble("injection_rate", 0.1);
+    cfg.set("packet_size", "1");       // "1" fixed, or "uniform1-6"
+    // Simulation phases.
+    cfg.setInt("warmup_cycles", 5000);
+    cfg.setInt("measure_cycles", 10000);
+    cfg.setInt("drain_cycles", 50000);
+    cfg.setInt("seed", 1);
+    return cfg;
+}
+
+} // namespace footprint

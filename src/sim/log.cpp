@@ -1,0 +1,47 @@
+#include "sim/log.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace footprint {
+
+namespace {
+bool quietFlag = false;
+} // namespace
+
+void
+panicImpl(const std::string& msg, const char* file, int line)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatal(const std::string& msg)
+{
+    std::cerr << "fatal: " << msg << std::endl;
+    std::exit(1);
+}
+
+void
+warn(const std::string& msg)
+{
+    if (!quietFlag)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+inform(const std::string& msg)
+{
+    if (!quietFlag)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+} // namespace footprint

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers, modeled on gem5's
+ * logging conventions: panic() for internal invariant violations,
+ * fatal() for user/configuration errors, warn()/inform() for status.
+ */
+
+#ifndef FOOTPRINT_SIM_LOG_HPP
+#define FOOTPRINT_SIM_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace footprint {
+
+/**
+ * Abort the process because a simulator invariant was violated.
+ * Use for conditions that indicate a bug in the simulator itself.
+ *
+ * @param msg Description of the violated invariant.
+ * @param file Source file (use the FP_PANIC macro).
+ * @param line Source line.
+ */
+[[noreturn]] void panicImpl(const std::string& msg, const char* file,
+                            int line);
+
+/**
+ * Exit the process because the simulation cannot continue due to a
+ * user-visible error (bad configuration, invalid arguments).
+ *
+ * @param msg Description of the error.
+ */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Print a warning about questionable but survivable behaviour. */
+void warn(const std::string& msg);
+
+/** Print an informational status message. */
+void inform(const std::string& msg);
+
+/** Globally silence warn()/inform() output (used by benches/tests). */
+void setQuiet(bool quiet);
+
+} // namespace footprint
+
+#define FP_PANIC(msg) ::footprint::panicImpl((msg), __FILE__, __LINE__)
+
+/** Assert a simulator invariant; always active (not tied to NDEBUG). */
+#define FP_ASSERT(cond, msg)                                            \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            std::ostringstream oss_;                                    \
+            oss_ << "assertion failed: " #cond ": " << msg;             \
+            ::footprint::panicImpl(oss_.str(), __FILE__, __LINE__);     \
+        }                                                               \
+    } while (0)
+
+#endif // FOOTPRINT_SIM_LOG_HPP

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Every stochastic component (traffic sources, tie-breaking arbiters)
+ * draws from its own Rng instance seeded from the experiment seed, so a
+ * run is bit-reproducible for a given SimConfig.
+ */
+
+#ifndef FOOTPRINT_SIM_RNG_HPP
+#define FOOTPRINT_SIM_RNG_HPP
+
+#include <cstdint>
+
+namespace footprint {
+
+/**
+ * A small, fast xoshiro256** generator.
+ *
+ * Chosen over std::mt19937 for speed (it sits on the router critical
+ * path for tie-breaking) and for a stable, implementation-independent
+ * sequence across standard libraries.
+ */
+class Rng
+{
+  public:
+    /** Seed with SplitMix64 expansion of @p seed (any value is fine). */
+    explicit Rng(std::uint64_t seed = 1);
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform integer in [0, bound), bound > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** @return uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return true with probability @p p. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_SIM_RNG_HPP

@@ -1,0 +1,136 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/log.hpp"
+
+namespace footprint {
+
+void
+StatAccumulator::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    sumSq_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+void
+StatAccumulator::add(double sample)
+{
+    ++count_;
+    sum_ += sample;
+    sumSq_ += sample * sample;
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+}
+
+void
+StatAccumulator::merge(const StatAccumulator& other)
+{
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sumSq_ += other.sumSq_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+StatAccumulator::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+StatAccumulator::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+StatAccumulator::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+double
+StatAccumulator::variance() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double v = sumSq_ / static_cast<double>(count_) - m * m;
+    return v > 0.0 ? v : 0.0;
+}
+
+double
+StatAccumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double bin_width, std::size_t num_bins)
+    : binWidth_(bin_width), bins_(num_bins, 0), overflow_(0), count_(0)
+{
+    FP_ASSERT(bin_width > 0.0, "histogram bin width must be positive");
+    FP_ASSERT(num_bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    overflow_ = 0;
+    count_ = 0;
+}
+
+void
+Histogram::add(double sample)
+{
+    ++count_;
+    if (sample < 0.0)
+        sample = 0.0;
+    auto bin = static_cast<std::size_t>(sample / binWidth_);
+    if (bin >= bins_.size())
+        ++overflow_;
+    else
+        ++bins_[bin];
+}
+
+double
+Histogram::percentile(double fraction) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        seen += bins_[i];
+        if (seen >= target)
+            return (static_cast<double>(i) + 1.0) * binWidth_;
+    }
+    return static_cast<double>(bins_.size()) * binWidth_;
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (bins_[i] == 0)
+            continue;
+        oss << binWidth_ * static_cast<double>(i) << "-"
+            << binWidth_ * static_cast<double>(i + 1) << ": " << bins_[i]
+            << "\n";
+    }
+    if (overflow_ > 0)
+        oss << ">=" << binWidth_ * static_cast<double>(bins_.size())
+            << ": " << overflow_ << "\n";
+    return oss.str();
+}
+
+} // namespace footprint

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lightweight statistics primitives used throughout the simulator:
+ * scalar accumulators for latency/throughput and fixed-bin histograms
+ * for distribution reporting.
+ */
+
+#ifndef FOOTPRINT_SIM_STATS_HPP
+#define FOOTPRINT_SIM_STATS_HPP
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace footprint {
+
+/**
+ * Accumulates samples and reports count / mean / min / max / stddev.
+ */
+class StatAccumulator
+{
+  public:
+    StatAccumulator() { reset(); }
+
+    /** Discard all samples. */
+    void reset();
+
+    /** Record one sample. */
+    void add(double sample);
+
+    /** Merge another accumulator's samples into this one. */
+    void merge(const StatAccumulator& other);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    double min() const;
+    double max() const;
+    /** Population variance of the recorded samples. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t count_;
+    double sum_;
+    double sumSq_;
+    double min_;
+    double max_;
+};
+
+/**
+ * Fixed-width-bin histogram over [0, binWidth * numBins); samples past
+ * the last bin are clamped into an overflow bin.
+ */
+class Histogram
+{
+  public:
+    Histogram(double bin_width, std::size_t num_bins);
+
+    void reset();
+    void add(double sample);
+
+    std::uint64_t count() const { return count_; }
+    std::size_t numBins() const { return bins_.size(); }
+    std::uint64_t binCount(std::size_t bin) const { return bins_.at(bin); }
+    std::uint64_t overflowCount() const { return overflow_; }
+
+    /** Value below which @p fraction of samples fall (approximate). */
+    double percentile(double fraction) const;
+
+    /** Render as "lo-hi: count" lines for reports. */
+    std::string toString() const;
+
+  private:
+    double binWidth_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t overflow_;
+    std::uint64_t count_;
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_SIM_STATS_HPP

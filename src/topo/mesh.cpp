@@ -1,0 +1,143 @@
+#include "topo/mesh.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "sim/log.hpp"
+
+namespace footprint {
+
+Dir
+dirOf(int port)
+{
+    FP_ASSERT(port >= 0 && port < kNumPorts, "bad port index " << port);
+    return static_cast<Dir>(port);
+}
+
+Dir
+opposite(Dir d)
+{
+    switch (d) {
+      case Dir::East: return Dir::West;
+      case Dir::West: return Dir::East;
+      case Dir::North: return Dir::South;
+      case Dir::South: return Dir::North;
+      case Dir::Local: break;
+    }
+    FP_PANIC("opposite() of Local port is undefined");
+}
+
+std::string
+dirName(Dir d)
+{
+    switch (d) {
+      case Dir::East: return "E";
+      case Dir::West: return "W";
+      case Dir::North: return "N";
+      case Dir::South: return "S";
+      case Dir::Local: return "L";
+    }
+    return "?";
+}
+
+Mesh::Mesh(int width, int height) : width_(width), height_(height)
+{
+    if (width < 2 || height < 2)
+        fatal("mesh must be at least 2x2");
+}
+
+int
+Mesh::nodeId(Coord c) const
+{
+    FP_ASSERT(c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_,
+              "coordinate out of mesh");
+    return c.y * width_ + c.x;
+}
+
+Coord
+Mesh::coordOf(int node) const
+{
+    FP_ASSERT(node >= 0 && node < numNodes(), "node id out of mesh");
+    return Coord{node % width_, node / width_};
+}
+
+bool
+Mesh::hasNeighbor(int node, Dir d) const
+{
+    const Coord c = coordOf(node);
+    switch (d) {
+      case Dir::East: return c.x + 1 < width_;
+      case Dir::West: return c.x > 0;
+      case Dir::North: return c.y + 1 < height_;
+      case Dir::South: return c.y > 0;
+      case Dir::Local: return false;
+    }
+    return false;
+}
+
+int
+Mesh::neighbor(int node, Dir d) const
+{
+    FP_ASSERT(hasNeighbor(node, d),
+              "no neighbor in direction " << dirName(d));
+    Coord c = coordOf(node);
+    switch (d) {
+      case Dir::East: ++c.x; break;
+      case Dir::West: --c.x; break;
+      case Dir::North: ++c.y; break;
+      case Dir::South: --c.y; break;
+      case Dir::Local: break;
+    }
+    return nodeId(c);
+}
+
+int
+Mesh::hopDistance(int a, int b) const
+{
+    const Coord ca = coordOf(a);
+    const Coord cb = coordOf(b);
+    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+std::vector<Dir>
+Mesh::minimalDirs(int cur, int dest) const
+{
+    Dir buf[2];
+    const int n = minimalDirsInto(cur, dest, buf);
+    return std::vector<Dir>(buf, buf + n);
+}
+
+int
+Mesh::minimalDirsInto(int cur, int dest, Dir out[2]) const
+{
+    const Coord cc = coordOf(cur);
+    const Coord cd = coordOf(dest);
+    int n = 0;
+    if (cd.x > cc.x)
+        out[n++] = Dir::East;
+    else if (cd.x < cc.x)
+        out[n++] = Dir::West;
+    if (cd.y > cc.y)
+        out[n++] = Dir::North;
+    else if (cd.y < cc.y)
+        out[n++] = Dir::South;
+    return n;
+}
+
+double
+Mesh::numMinimalPaths(int a, int b) const
+{
+    const Coord ca = coordOf(a);
+    const Coord cb = coordOf(b);
+    const int dx = std::abs(ca.x - cb.x);
+    const int dy = std::abs(ca.y - cb.y);
+    // C(dx + dy, dx), computed multiplicatively in doubles; mesh
+    // distances are small enough that this is exact.
+    double result = 1.0;
+    for (int i = 1; i <= dx; ++i)
+        result = result * static_cast<double>(dy + i)
+            / static_cast<double>(i);
+    return result;
+}
+
+} // namespace footprint

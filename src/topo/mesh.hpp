@@ -1,0 +1,110 @@
+/**
+ * @file
+ * 2D mesh topology: node/coordinate mapping, port directions, and
+ * minimal-path queries used by every routing algorithm.
+ */
+
+#ifndef FOOTPRINT_TOPO_MESH_HPP
+#define FOOTPRINT_TOPO_MESH_HPP
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace footprint {
+
+/**
+ * Router port directions in a 2D mesh.
+ *
+ * East/West move along +x/-x, North/South along +y/-y, and Local is the
+ * injection/ejection port connecting a router to its endpoint node.
+ */
+enum class Dir : int {
+    East = 0,
+    West = 1,
+    North = 2,
+    South = 3,
+    Local = 4,
+};
+
+/** Number of router ports in a 2D mesh (4 mesh directions + local). */
+inline constexpr int kNumPorts = 5;
+
+/** @return the port index for a direction. */
+inline constexpr int portOf(Dir d) { return static_cast<int>(d); }
+
+/** @return the direction for a port index in [0, kNumPorts). */
+Dir dirOf(int port);
+
+/** @return the opposite mesh direction (East<->West, North<->South). */
+Dir opposite(Dir d);
+
+/** @return short human-readable name ("E", "W", "N", "S", "L"). */
+std::string dirName(Dir d);
+
+/** Integer (x, y) coordinate of a mesh node. */
+struct Coord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Coord&) const = default;
+};
+
+/**
+ * A width x height 2D mesh.
+ *
+ * Node ids are row-major: id = y * width + x, matching the node
+ * numbering in the paper's figures (n0 .. n15 for a 4x4 mesh).
+ */
+class Mesh
+{
+  public:
+    Mesh(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int numNodes() const { return width_ * height_; }
+
+    /** @return the node id at @p c. */
+    int nodeId(Coord c) const;
+
+    /** @return the coordinate of @p node. */
+    Coord coordOf(int node) const;
+
+    /** @return true if moving from @p node in direction @p d stays
+     * inside the mesh. */
+    bool hasNeighbor(int node, Dir d) const;
+
+    /** @return the neighboring node id (requires hasNeighbor). */
+    int neighbor(int node, Dir d) const;
+
+    /** @return minimal hop count between two nodes (Manhattan). */
+    int hopDistance(int a, int b) const;
+
+    /**
+     * Minimal productive mesh directions from @p cur towards @p dest
+     * (0, 1, or 2 entries; empty when cur == dest).
+     */
+    std::vector<Dir> minimalDirs(int cur, int dest) const;
+
+    /**
+     * Allocation-free variant of minimalDirs for the router critical
+     * path: fills @p out and returns the direction count (0..2).
+     */
+    int minimalDirsInto(int cur, int dest, Dir out[2]) const;
+
+    /**
+     * Number of distinct minimal paths between two nodes,
+     * C(|dx|+|dy|, |dx|) — used by the adaptiveness metrics.
+     */
+    double numMinimalPaths(int a, int b) const;
+
+  private:
+    int width_;
+    int height_;
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_TOPO_MESH_HPP

@@ -1,0 +1,76 @@
+#include "traffic/injection.hpp"
+
+#include <cstdio>
+
+#include "sim/log.hpp"
+#include "sim/rng.hpp"
+
+namespace footprint {
+
+PacketSizeDist
+PacketSizeDist::fixed(int n)
+{
+    if (n < 1)
+        fatal("packet size must be at least 1 flit");
+    return PacketSizeDist(n, n);
+}
+
+PacketSizeDist
+PacketSizeDist::uniform(int lo, int hi)
+{
+    if (lo < 1 || hi < lo)
+        fatal("invalid uniform packet size range");
+    return PacketSizeDist(lo, hi);
+}
+
+PacketSizeDist
+PacketSizeDist::parse(const std::string& spec)
+{
+    int lo = 0;
+    int hi = 0;
+    if (std::sscanf(spec.c_str(), "uniform%d-%d", &lo, &hi) == 2)
+        return uniform(lo, hi);
+    if (std::sscanf(spec.c_str(), "%d", &lo) == 1)
+        return fixed(lo);
+    fatal("cannot parse packet size spec: " + spec);
+}
+
+int
+PacketSizeDist::sample(Rng& rng) const
+{
+    if (lo_ == hi_)
+        return lo_;
+    return static_cast<int>(rng.nextRange(lo_, hi_));
+}
+
+double
+PacketSizeDist::mean() const
+{
+    return (static_cast<double>(lo_) + static_cast<double>(hi_)) / 2.0;
+}
+
+std::string
+PacketSizeDist::toString() const
+{
+    if (lo_ == hi_)
+        return std::to_string(lo_);
+    return "uniform" + std::to_string(lo_) + "-" + std::to_string(hi_);
+}
+
+BernoulliInjection::BernoulliInjection(double flit_rate,
+                                       double mean_packet_size)
+    : flitRate_(flit_rate), packetProb_(flit_rate / mean_packet_size)
+{
+    if (flit_rate < 0.0)
+        fatal("injection rate must be non-negative");
+    if (packetProb_ > 1.0)
+        packetProb_ = 1.0;
+}
+
+bool
+BernoulliInjection::fires(Rng& rng) const
+{
+    return packetProb_ > 0.0 && rng.nextBool(packetProb_);
+}
+
+} // namespace footprint

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Packet-size distributions and the Bernoulli injection process used by
+ * open-loop synthetic traffic.
+ */
+
+#ifndef FOOTPRINT_TRAFFIC_INJECTION_HPP
+#define FOOTPRINT_TRAFFIC_INJECTION_HPP
+
+#include <string>
+
+namespace footprint {
+
+class Rng;
+
+/**
+ * Packet length distribution. Supports fixed sizes ("1", "4") and the
+ * paper's uniformly distributed variable size ("uniform1-6").
+ */
+class PacketSizeDist
+{
+  public:
+    /** Fixed size @p n. */
+    static PacketSizeDist fixed(int n);
+
+    /** Uniform over [lo, hi] flits. */
+    static PacketSizeDist uniform(int lo, int hi);
+
+    /**
+     * Parse a config string: "<n>" (fixed) or "uniform<lo>-<hi>".
+     * fatal() on malformed input.
+     */
+    static PacketSizeDist parse(const std::string& spec);
+
+    int sample(Rng& rng) const;
+    double mean() const;
+    int maxSize() const { return hi_; }
+    int minSize() const { return lo_; }
+
+    std::string toString() const;
+
+  private:
+    PacketSizeDist(int lo, int hi) : lo_(lo), hi_(hi) {}
+
+    int lo_;
+    int hi_;
+};
+
+/**
+ * Open-loop Bernoulli injection: at a flit injection rate r and mean
+ * packet size s, a new packet is generated each cycle with probability
+ * r / s, keeping the offered load in flits/node/cycle equal to r.
+ */
+class BernoulliInjection
+{
+  public:
+    BernoulliInjection(double flit_rate, double mean_packet_size);
+
+    /** @return true if a packet should be generated this cycle. */
+    bool fires(Rng& rng) const;
+
+    double flitRate() const { return flitRate_; }
+
+  private:
+    double flitRate_;
+    double packetProb_;
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_TRAFFIC_INJECTION_HPP

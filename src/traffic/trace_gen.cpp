@@ -1,0 +1,157 @@
+#include "traffic/trace_gen.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+#include "sim/rng.hpp"
+
+namespace footprint {
+
+std::vector<AppProfile>
+parsecProfiles()
+{
+    // Loads and destination skews are calibrated to the qualitative
+    // per-application behaviour the paper reports in Fig. 10:
+    //  - fluidanimate: heavy traffic, very diverse destinations
+    //    (lowest purity ~10%) -> largest Footprint benefit;
+    //  - bodytrack: concentrated sharing (highest purity ~32%) ->
+    //    smallest opportunity;
+    //  - blackscholes / swaptions: too little traffic to matter;
+    //  - canneal / x264: moderate, fairly uniform traffic.
+    // Intensities are chosen so that co-scheduling two heavy apps
+    // drives the 8x8 baseline near saturation (the paper stresses the
+    // network by executing two workloads simultaneously).
+    return {
+        {"blackscholes", 0.05, 150, 600, 0.50, 2, 1, 5},
+        {"bodytrack",    0.28, 300, 200, 0.50, 4, 1, 5},
+        {"canneal",      0.34, 400, 150, 0.20, 8, 1, 5},
+        {"dedup",        0.26, 250, 250, 0.40, 4, 1, 5},
+        {"ferret",       0.30, 300, 200, 0.35, 4, 1, 5},
+        {"fluidanimate", 0.44, 500, 100, 0.10, 16, 1, 5},
+        {"freqmine",     0.20, 200, 300, 0.45, 4, 1, 5},
+        {"swaptions",    0.06, 150, 500, 0.50, 2, 1, 5},
+        {"vips",         0.26, 250, 200, 0.30, 4, 1, 5},
+        {"x264",         0.22, 200, 250, 0.25, 8, 1, 5},
+    };
+}
+
+AppProfile
+parsecProfile(const std::string& name)
+{
+    for (const AppProfile& p : parsecProfiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown PARSEC profile: " + name);
+}
+
+namespace {
+
+/** Evenly spread "home" nodes over the mesh for shared traffic. */
+std::vector<int>
+homeNodes(const Mesh& mesh, int count)
+{
+    std::vector<int> homes;
+    const int n = mesh.numNodes();
+    for (int i = 0; i < count; ++i) {
+        // Stride through the node space; offset by half a stride so
+        // homes avoid clustering at node 0.
+        const int node = (i * n / count + n / (2 * count)) % n;
+        homes.push_back(node);
+    }
+    return homes;
+}
+
+} // namespace
+
+std::vector<TraceEvent>
+generateTrace(const Mesh& mesh, const AppProfile& profile,
+              std::int64_t length, std::uint64_t seed)
+{
+    FP_ASSERT(profile.minPacket >= 1
+                  && profile.maxPacket >= profile.minPacket,
+              "bad packet size range in profile");
+    Rng rng(seed ^ 0xf007f007f007ULL);
+    const int n = mesh.numNodes();
+    const std::vector<int> homes =
+        homeNodes(mesh, std::max(1, profile.numSharedHotspots));
+
+    const double mean_size =
+        (profile.minPacket + profile.maxPacket) / 2.0;
+    const double pkt_prob = std::min(1.0, profile.onLoad / mean_size);
+    const double p_off =
+        profile.meanOnCycles > 0 ? 1.0 / profile.meanOnCycles : 1.0;
+    const double p_on =
+        profile.meanOffCycles > 0 ? 1.0 / profile.meanOffCycles : 1.0;
+
+    // Per-node ON/OFF Markov state, started at the stationary mix.
+    const double stationary_on = p_on / (p_on + p_off);
+    std::vector<bool> on(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        on[static_cast<std::size_t>(i)] = rng.nextBool(stationary_on);
+
+    std::vector<TraceEvent> events;
+    for (std::int64_t cycle = 0; cycle < length; ++cycle) {
+        for (int src = 0; src < n; ++src) {
+            auto idx = static_cast<std::size_t>(src);
+            if (on[idx]) {
+                if (rng.nextBool(p_off))
+                    on[idx] = false;
+            } else {
+                if (rng.nextBool(p_on))
+                    on[idx] = true;
+                continue;
+            }
+            if (!rng.nextBool(pkt_prob))
+                continue;
+            int dest;
+            if (rng.nextBool(profile.sharedFraction)) {
+                dest = homes[rng.nextBounded(homes.size())];
+            } else {
+                dest = static_cast<int>(
+                    rng.nextBounded(static_cast<std::uint64_t>(n)));
+            }
+            if (dest == src)
+                continue;
+            TraceEvent ev;
+            ev.cycle = cycle;
+            ev.src = src;
+            ev.dest = dest;
+            ev.size = static_cast<int>(
+                rng.nextRange(profile.minPacket, profile.maxPacket));
+            events.push_back(ev);
+        }
+    }
+    return events;
+}
+
+std::vector<TraceEvent>
+mergeTraces(const std::vector<TraceEvent>& a,
+            const std::vector<TraceEvent>& b)
+{
+    std::vector<TraceEvent> merged;
+    merged.reserve(a.size() + b.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(),
+               std::back_inserter(merged),
+               [](const TraceEvent& x, const TraceEvent& y) {
+                   return x.cycle < y.cycle;
+               });
+    return merged;
+}
+
+std::uint64_t
+writeTraceFile(const std::string& path, const Mesh& mesh,
+               const AppProfile& profile, std::int64_t length,
+               std::uint64_t seed)
+{
+    TraceWriter writer(path);
+    writer.comment("synthetic PARSEC-like trace: " + profile.name);
+    writer.comment("mesh " + std::to_string(mesh.width()) + "x"
+                   + std::to_string(mesh.height()) + ", length "
+                   + std::to_string(length) + " cycles");
+    for (const TraceEvent& ev : generateTrace(mesh, profile, length, seed))
+        writer.append(ev);
+    return writer.eventCount();
+}
+
+} // namespace footprint

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Synthetic PARSEC-like trace generation.
+ *
+ * The paper drives its Fig. 10 evaluation with PARSEC 2.0 traces
+ * captured by Netrace. Those traces are not redistributable, so this
+ * module synthesises statistically similar traces from per-application
+ * profiles (offered load, packet-size mix, destination skew towards
+ * shared hotspot nodes, and ON/OFF burstiness). The profile parameters
+ * are chosen to reproduce the qualitative properties the paper's
+ * analysis attributes to each workload: traffic intensity and
+ * "purity of blocking" (destination diversity inside routers).
+ */
+
+#ifndef FOOTPRINT_TRAFFIC_TRACE_GEN_HPP
+#define FOOTPRINT_TRAFFIC_TRACE_GEN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/mesh.hpp"
+#include "traffic/trace.hpp"
+
+namespace footprint {
+
+/**
+ * Statistical profile of one application's NoC traffic.
+ *
+ * Destinations are drawn from a mixture: with probability
+ * sharedFraction, one of numSharedHotspots "directory/home" nodes
+ * (evenly spread over the mesh); otherwise uniform random. Sources
+ * alternate between ON bursts and OFF gaps with the given mean
+ * lengths; packets are injected during ON periods at onLoad
+ * flits/node/cycle.
+ */
+struct AppProfile
+{
+    std::string name;
+    double onLoad = 0.1;        ///< flits/node/cycle while ON
+    double meanOnCycles = 200;  ///< mean burst length
+    double meanOffCycles = 200; ///< mean gap length
+    double sharedFraction = 0.3;///< traffic share to hotspot nodes
+    int numSharedHotspots = 4;  ///< shared "home node" count
+    int minPacket = 1;          ///< flits
+    int maxPacket = 5;          ///< flits
+};
+
+/** Per-application profiles for the PARSEC 2.0 workloads (Fig. 10). */
+std::vector<AppProfile> parsecProfiles();
+
+/** Look up a profile by application name; fatal() if unknown. */
+AppProfile parsecProfile(const std::string& name);
+
+/**
+ * Generate @p length cycles of trace events for @p profile on
+ * @p mesh. Deterministic in @p seed.
+ */
+std::vector<TraceEvent> generateTrace(const Mesh& mesh,
+                                      const AppProfile& profile,
+                                      std::int64_t length,
+                                      std::uint64_t seed);
+
+/**
+ * Merge two event streams (e.g. two co-running applications) into one
+ * cycle-sorted trace, as the paper does when executing two workloads
+ * simultaneously.
+ */
+std::vector<TraceEvent> mergeTraces(const std::vector<TraceEvent>& a,
+                                    const std::vector<TraceEvent>& b);
+
+/** Generate a trace and write it to @p path; @return event count. */
+std::uint64_t writeTraceFile(const std::string& path, const Mesh& mesh,
+                             const AppProfile& profile,
+                             std::int64_t length, std::uint64_t seed);
+
+} // namespace footprint
+
+#endif // FOOTPRINT_TRAFFIC_TRACE_GEN_HPP

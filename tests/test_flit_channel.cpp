@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for flit construction and the fixed-latency channels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "router/channel.hpp"
+#include "router/flit.hpp"
+
+namespace footprint {
+namespace {
+
+Packet
+makePacket(int size)
+{
+    Packet p;
+    p.id = 7;
+    p.src = 1;
+    p.dest = 2;
+    p.size = size;
+    p.createTime = 100;
+    p.measured = true;
+    return p;
+}
+
+TEST(Flit, SingleFlitPacketIsHeadAndTail)
+{
+    const Flit f = makeFlit(makePacket(1), 0);
+    EXPECT_TRUE(f.head);
+    EXPECT_TRUE(f.tail);
+    EXPECT_EQ(f.packetSize, 1);
+}
+
+TEST(Flit, MultiFlitPacketStructure)
+{
+    const Packet p = makePacket(4);
+    for (int i = 0; i < 4; ++i) {
+        const Flit f = makeFlit(p, i);
+        EXPECT_EQ(f.head, i == 0);
+        EXPECT_EQ(f.tail, i == 3);
+        EXPECT_EQ(f.packetId, p.id);
+        EXPECT_EQ(f.src, p.src);
+        EXPECT_EQ(f.dest, p.dest);
+        EXPECT_EQ(f.createTime, p.createTime);
+        EXPECT_TRUE(f.measured);
+    }
+}
+
+TEST(Flit, ToStringMentionsEndpoints)
+{
+    const Flit f = makeFlit(makePacket(1), 0);
+    const std::string s = f.toString();
+    EXPECT_NE(s.find("1->2"), std::string::npos);
+}
+
+TEST(FlitChannel, DeliversAfterLatency)
+{
+    FlitChannel ch(1);
+    Flit f = makeFlit(makePacket(1), 0);
+    ch.send(f, 10);
+    EXPECT_FALSE(ch.receive(10).has_value());
+    const auto got = ch.receive(11);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->packetId, f.packetId);
+    EXPECT_FALSE(ch.receive(12).has_value());
+}
+
+TEST(FlitChannel, MultiCycleLatency)
+{
+    FlitChannel ch(3);
+    ch.send(makeFlit(makePacket(1), 0), 5);
+    EXPECT_FALSE(ch.receive(7).has_value());
+    EXPECT_TRUE(ch.receive(8).has_value());
+}
+
+TEST(FlitChannel, PreservesOrder)
+{
+    FlitChannel ch(2);
+    Packet p = makePacket(3);
+    for (int i = 0; i < 3; ++i) {
+        Flit f = makeFlit(p, i);
+        ch.send(f, 10 + i);
+    }
+    for (int i = 0; i < 3; ++i) {
+        const auto got = ch.receive(12 + i);
+        ASSERT_TRUE(got.has_value()) << "flit " << i;
+        EXPECT_EQ(got->head, i == 0);
+        EXPECT_EQ(got->tail, i == 2);
+    }
+}
+
+TEST(FlitChannel, LateReceiveStillDelivers)
+{
+    FlitChannel ch(1);
+    ch.send(makeFlit(makePacket(1), 0), 0);
+    // Receiver polls late; delivery happens at the first poll after
+    // readiness.
+    EXPECT_TRUE(ch.receive(100).has_value());
+}
+
+TEST(FlitChannel, InFlightCount)
+{
+    FlitChannel ch(5);
+    EXPECT_TRUE(ch.empty());
+    ch.send(makeFlit(makePacket(1), 0), 0);
+    ch.send(makeFlit(makePacket(1), 0), 1);
+    EXPECT_EQ(ch.inFlightCount(), 2u);
+    (void)ch.receive(5);
+    EXPECT_EQ(ch.inFlightCount(), 1u);
+}
+
+TEST(CreditChannel, CarriesVcIndex)
+{
+    CreditChannel ch(1);
+    ch.send(Credit{3}, 0);
+    ch.send(Credit{7}, 0);
+    const auto a = ch.receive(1);
+    const auto b = ch.receive(1);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->vc, 3);
+    EXPECT_EQ(b->vc, 7);
+    EXPECT_FALSE(ch.receive(1).has_value());
+}
+
+} // namespace
+} // namespace footprint

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Unit tests for the logging/error helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/log.hpp"
+
+namespace footprint {
+namespace {
+
+TEST(LogDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config"), testing::ExitedWithCode(1),
+                "fatal: bad config");
+}
+
+TEST(LogDeath, PanicAborts)
+{
+    EXPECT_DEATH(FP_PANIC("broken invariant"),
+                 "panic: broken invariant");
+}
+
+TEST(LogDeath, AssertMacroFiresOnFalse)
+{
+    const int x = 3;
+    EXPECT_DEATH(FP_ASSERT(x == 4, "x was " << x),
+                 "assertion failed: x == 4: x was 3");
+}
+
+TEST(Log, AssertMacroPassesOnTrue)
+{
+    const int x = 4;
+    FP_ASSERT(x == 4, "never printed");
+    SUCCEED();
+}
+
+TEST(Log, WarnAndInformRespectQuiet)
+{
+    // Capture stderr around quiet/verbose toggles.
+    testing::internal::CaptureStderr();
+    setQuiet(true);
+    warn("hidden warning");
+    inform("hidden info");
+    setQuiet(false);
+    warn("visible warning");
+    inform("visible info");
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err.find("hidden"), std::string::npos);
+    EXPECT_NE(err.find("warn: visible warning"), std::string::npos);
+    EXPECT_NE(err.find("info: visible info"), std::string::npos);
+}
+
+} // namespace
+} // namespace footprint

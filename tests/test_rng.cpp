@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the deterministic xoshiro256** RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace footprint {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDifferentSequences)
+{
+    Rng a(1);
+    Rng b(2);
+    int diffs = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() != b.next())
+            ++diffs;
+    }
+    EXPECT_GT(diffs, 90);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng r(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(r.next());
+    EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(13), 13u);
+}
+
+TEST(Rng, BoundedCoversAllValues)
+{
+    Rng r(7);
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++counts[r.nextBounded(8)];
+    for (int v = 0; v < 8; ++v)
+        EXPECT_GT(counts[v], 0) << "value " << v << " never produced";
+}
+
+TEST(Rng, BoundedIsApproximatelyUniform)
+{
+    Rng r(11);
+    const int n = 100000;
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < n; ++i)
+        ++counts[r.nextBounded(10)];
+    for (int v = 0; v < 10; ++v) {
+        EXPECT_NEAR(counts[v], n / 10, n / 100)
+            << "bucket " << v << " skewed";
+    }
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng r(3);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.nextRange(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        saw_lo = saw_lo || v == 2;
+        saw_hi = saw_hi || v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeSingleValue)
+{
+    Rng r(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.nextRange(4, 4), 4);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, DoubleMeanIsHalf)
+{
+    Rng r(9);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoolProbabilityZeroAndOne)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(r.nextBool(0.0));
+        EXPECT_TRUE(r.nextBool(1.0));
+    }
+}
+
+TEST(Rng, BoolProbabilityMatchesRate)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (r.nextBool(0.3))
+            ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+} // namespace
+} // namespace footprint

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for DBAR-style fully adaptive routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fake_router_view.hpp"
+#include "routing/dbar.hpp"
+
+namespace footprint {
+namespace {
+
+constexpr int kVcs = 10;
+
+/** Extract the single non-escape request port. */
+int
+adaptivePort(const OutputSet& out)
+{
+    for (const auto& r : out.requests()) {
+        if (r.priority != Priority::Lowest)
+            return r.port;
+    }
+    return -1;
+}
+
+TEST(Dbar, RequestsAdaptiveVcsPlusEscape)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    DbarRouting dbar;
+    OutputSet out;
+    dbar.route(view, headFlit(0, 9), out);
+    ASSERT_EQ(out.requests().size(), 2u);
+
+    bool saw_adaptive = false;
+    bool saw_escape = false;
+    for (const auto& r : out.requests()) {
+        if (r.priority == Priority::Lowest) {
+            saw_escape = true;
+            EXPECT_EQ(r.vcs, VcMask{1});
+            // Escape follows DOR: X first -> East.
+            EXPECT_EQ(r.port, portOf(Dir::East));
+        } else {
+            saw_adaptive = true;
+            // VC 0 is reserved for escape.
+            EXPECT_EQ(r.vcs, maskOfFirst(kVcs) & ~VcMask{1});
+            EXPECT_EQ(r.priority, Priority::Low);
+        }
+    }
+    EXPECT_TRUE(saw_adaptive);
+    EXPECT_TRUE(saw_escape);
+}
+
+TEST(Dbar, SingleMinimalDirectionIsForced)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    DbarRouting dbar;
+    OutputSet out;
+    dbar.route(view, headFlit(0, 7), out); // same row, east only
+    EXPECT_EQ(adaptivePort(out), portOf(Dir::East));
+}
+
+TEST(Dbar, ThresholdPrefersUncongestedPort)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    // East below threshold (5), North above.
+    for (int v = 0; v < 7; ++v)
+        view.occupy(portOf(Dir::East), v, 50);
+    DbarRouting dbar;
+    OutputSet out;
+    dbar.route(view, headFlit(0, 9), out);
+    EXPECT_EQ(adaptivePort(out), portOf(Dir::North));
+}
+
+TEST(Dbar, RemoteStatusBreaksLocalTie)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    // Local idle counts equal; remote differs. Destination 18 = (2,2):
+    // continuation after East (to node 1) is East again; after North
+    // (to node 8) is North again.
+    view.setRemoteIdle(portOf(Dir::East), portOf(Dir::East), 1);
+    view.setRemoteIdle(portOf(Dir::North), portOf(Dir::North), 9);
+    DbarRouting dbar;
+    OutputSet out;
+    dbar.route(view, headFlit(0, 18), out);
+    EXPECT_EQ(adaptivePort(out), portOf(Dir::North));
+}
+
+TEST(Dbar, RemoteDisabledIgnoresStatus)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    view.setRemoteIdle(portOf(Dir::East), portOf(Dir::East), 0);
+    view.setRemoteIdle(portOf(Dir::North), portOf(Dir::North), 9);
+    // Make east locally better so the local-only choice is East.
+    view.occupy(portOf(Dir::North), 1, 50);
+    DbarRouting dbar(0, /*use_remote=*/false);
+    OutputSet out;
+    dbar.route(view, headFlit(0, 18), out);
+    EXPECT_EQ(adaptivePort(out), portOf(Dir::East));
+}
+
+TEST(Dbar, EjectionRequestsLocalPort)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 9, kVcs);
+    DbarRouting dbar;
+    OutputSet out;
+    dbar.route(view, headFlit(0, 9), out);
+    for (const auto& r : out.requests())
+        EXPECT_EQ(r.port, portOf(Dir::Local));
+}
+
+TEST(Dbar, EscapeFollowsDorEvenWhenAdaptiveDiffers)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    // Congest East so the adaptive choice is North, while the DOR
+    // escape for (0 -> 9) remains East.
+    for (int v = 0; v < kVcs; ++v)
+        view.occupy(portOf(Dir::East), v, 50);
+    DbarRouting dbar;
+    OutputSet out;
+    dbar.route(view, headFlit(0, 9), out);
+    EXPECT_EQ(adaptivePort(out), portOf(Dir::North));
+    bool escape_east = false;
+    for (const auto& r : out.requests()) {
+        if (r.priority == Priority::Lowest)
+            escape_east = r.port == portOf(Dir::East);
+    }
+    EXPECT_TRUE(escape_east);
+}
+
+TEST(Dbar, Properties)
+{
+    DbarRouting dbar;
+    EXPECT_EQ(dbar.name(), "dbar");
+    EXPECT_TRUE(dbar.atomicVcAlloc());
+    EXPECT_EQ(dbar.numEscapeVcs(), 1);
+}
+
+} // namespace
+} // namespace footprint

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for dimension-order routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fake_router_view.hpp"
+#include "routing/dor.hpp"
+
+namespace footprint {
+namespace {
+
+TEST(DorDir, RoutesXFirst)
+{
+    const Mesh mesh(4, 4);
+    // From n0 (0,0) to n10 (2,2): X first -> East.
+    EXPECT_EQ(dorDir(mesh, 0, 10), Dir::East);
+    // From n2 (2,0) to n10 (2,2): X done -> North.
+    EXPECT_EQ(dorDir(mesh, 2, 10), Dir::North);
+    // Westbound.
+    EXPECT_EQ(dorDir(mesh, 3, 0), Dir::West);
+    // Southbound after X.
+    EXPECT_EQ(dorDir(mesh, 12, 0), Dir::South);
+    // At destination.
+    EXPECT_EQ(dorDir(mesh, 10, 10), Dir::Local);
+}
+
+TEST(DorDir, FullPathIsMinimal)
+{
+    const Mesh mesh(8, 8);
+    for (int s = 0; s < 64; s += 5) {
+        for (int d = 0; d < 64; d += 3) {
+            int cur = s;
+            int hops = 0;
+            while (cur != d) {
+                const Dir dir = dorDir(mesh, cur, d);
+                ASSERT_NE(dir, Dir::Local);
+                cur = mesh.neighbor(cur, dir);
+                ++hops;
+                ASSERT_LE(hops, 14) << "DOR path too long";
+            }
+            EXPECT_EQ(hops, mesh.hopDistance(s, d));
+        }
+    }
+}
+
+TEST(DorDir, NeverTurnsBackIntoX)
+{
+    // Once Y movement starts, X must be finished: the Y segment only
+    // begins when the x coordinates match.
+    const Mesh mesh(8, 8);
+    for (int s = 0; s < 64; ++s) {
+        for (int d = 0; d < 64; ++d) {
+            if (s == d)
+                continue;
+            const Dir dir = dorDir(mesh, s, d);
+            if (dir == Dir::North || dir == Dir::South) {
+                EXPECT_EQ(mesh.coordOf(s).x, mesh.coordOf(d).x);
+            }
+        }
+    }
+}
+
+TEST(DorRouting, RequestsAllVcsOnOnePort)
+{
+    const Mesh mesh(4, 4);
+    FakeRouterView view(mesh, 0, 4);
+    DorRouting dor;
+    OutputSet out;
+    dor.route(view, headFlit(0, 10), out);
+    ASSERT_EQ(out.requests().size(), 1u);
+    EXPECT_EQ(out.requests()[0].port, portOf(Dir::East));
+    EXPECT_EQ(out.requests()[0].vcs, maskOfFirst(4));
+    EXPECT_EQ(out.requests()[0].priority, Priority::Low);
+}
+
+TEST(DorRouting, EjectsAtDestination)
+{
+    const Mesh mesh(4, 4);
+    FakeRouterView view(mesh, 10, 4);
+    DorRouting dor;
+    OutputSet out;
+    dor.route(view, headFlit(0, 10), out);
+    ASSERT_EQ(out.requests().size(), 1u);
+    EXPECT_EQ(out.requests()[0].port, portOf(Dir::Local));
+}
+
+TEST(DorRouting, IsObliviousToCongestion)
+{
+    const Mesh mesh(4, 4);
+    FakeRouterView view(mesh, 0, 4);
+    // Saturate the east port completely; DOR must still pick it.
+    for (int v = 0; v < 4; ++v)
+        view.occupy(portOf(Dir::East), v, 99);
+    DorRouting dor;
+    OutputSet out;
+    dor.route(view, headFlit(0, 10), out);
+    ASSERT_EQ(out.requests().size(), 1u);
+    EXPECT_EQ(out.requests()[0].port, portOf(Dir::East));
+}
+
+TEST(DorRouting, Properties)
+{
+    DorRouting dor;
+    EXPECT_EQ(dor.name(), "dor");
+    EXPECT_FALSE(dor.atomicVcAlloc());
+    EXPECT_EQ(dor.numEscapeVcs(), 0);
+}
+
+TEST(OutputSet, PriorityForFindsMaxAcrossRequests)
+{
+    OutputSet out;
+    out.add(1, 0b0110, Priority::Low);
+    out.add(1, 0b0010, Priority::High);
+    Priority pri = Priority::Lowest;
+    EXPECT_TRUE(out.priorityFor(1, 1, pri));
+    EXPECT_EQ(pri, Priority::High);
+    EXPECT_TRUE(out.priorityFor(1, 2, pri));
+    EXPECT_EQ(pri, Priority::Low);
+    EXPECT_FALSE(out.priorityFor(1, 0, pri));
+    EXPECT_FALSE(out.priorityFor(2, 1, pri));
+}
+
+TEST(OutputSet, EmptyMasksAreDropped)
+{
+    OutputSet out;
+    out.add(1, 0, Priority::Low);
+    EXPECT_TRUE(out.empty());
+}
+
+} // namespace
+} // namespace footprint

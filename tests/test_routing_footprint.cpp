@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Unit tests for the Footprint routing algorithm: port selection by
+ * (idle, footprint, random), congestion-regime VC request priorities,
+ * footprint waiting, the converge gate, the VC cap, and the escape
+ * channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fake_router_view.hpp"
+#include "routing/footprint.hpp"
+
+namespace footprint {
+namespace {
+
+constexpr int kVcs = 10;
+constexpr VcMask kAdaptive = maskOfFirst(kVcs) & ~VcMask{1};
+
+/** Find the request covering (port, vc); false if absent. */
+bool
+requested(const OutputSet& out, int port, int vc, Priority& pri)
+{
+    return out.priorityFor(port, vc, pri);
+}
+
+/** The single non-escape port in the set. */
+int
+adaptivePort(const OutputSet& out)
+{
+    for (const auto& r : out.requests()) {
+        if (r.priority != Priority::Lowest)
+            return r.port;
+    }
+    return -1;
+}
+
+TEST(Footprint, UncongestedRequestsAllAdaptiveLow)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    FootprintRouting fp;
+    OutputSet out;
+    fp.route(view, headFlit(0, 9), out);
+    // Adaptive request on one minimal port + escape.
+    int adaptive_reqs = 0;
+    for (const auto& r : out.requests()) {
+        if (r.priority == Priority::Lowest) {
+            EXPECT_EQ(r.vcs, VcMask{1});
+        } else {
+            ++adaptive_reqs;
+            EXPECT_EQ(r.vcs, kAdaptive);
+            EXPECT_EQ(r.priority, Priority::Low);
+        }
+    }
+    EXPECT_EQ(adaptive_reqs, 1);
+}
+
+TEST(Footprint, EscapeAlwaysRequestedLowest)
+{
+    const Mesh mesh(8, 8);
+    FootprintRouting fp;
+    for (int dest : {9, 7, 56, 63}) {
+        FakeRouterView view(mesh, 0, kVcs);
+        OutputSet out;
+        fp.route(view, headFlit(0, dest), out);
+        Priority pri = Priority::High;
+        ASSERT_TRUE(requested(out, portOf(dorDir(mesh, 0, dest)), 0,
+                              pri));
+        EXPECT_EQ(pri, Priority::Lowest);
+    }
+}
+
+TEST(Footprint, PortSelectionPrefersMoreIdleVcs)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    for (int v = 0; v < 3; ++v)
+        view.occupy(portOf(Dir::East), v, 50);
+    FootprintRouting fp;
+    OutputSet out;
+    fp.route(view, headFlit(0, 18), out);
+    EXPECT_EQ(adaptivePort(out), portOf(Dir::North));
+}
+
+TEST(Footprint, PortSelectionTieBrokenByFootprints)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    // Equal idle counts (one occupied VC each), but East's occupant
+    // shares the packet's destination.
+    view.occupy(portOf(Dir::East), 2, 18);
+    view.occupy(portOf(Dir::North), 2, 50);
+    FootprintRouting fp;
+    OutputSet out;
+    fp.route(view, headFlit(0, 18), out);
+    EXPECT_EQ(adaptivePort(out), portOf(Dir::East));
+}
+
+TEST(Footprint, SaturatedPortWaitsOnFootprints)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    // Fully occupy both minimal ports; east VC 3 carries a packet to
+    // the same destination.
+    for (int v = 0; v < kVcs; ++v) {
+        view.occupy(portOf(Dir::East), v, v == 3 ? 18 : 50);
+        view.occupy(portOf(Dir::North), v, 60);
+    }
+    FootprintRouting fp;
+    OutputSet out;
+    fp.route(view, headFlit(0, 18), out);
+    // Port selection: idle tie (0), fp tie-break picks East.
+    EXPECT_EQ(adaptivePort(out), portOf(Dir::East));
+    Priority pri = Priority::Lowest;
+    ASSERT_TRUE(requested(out, portOf(Dir::East), 3, pri));
+    EXPECT_EQ(pri, Priority::High);
+    // No other adaptive VC may be requested.
+    for (int v = 1; v < kVcs; ++v) {
+        if (v == 3)
+            continue;
+        Priority p2 = Priority::Lowest;
+        EXPECT_FALSE(requested(out, portOf(Dir::East), v, p2))
+            << "unexpected request on VC " << v;
+    }
+}
+
+TEST(Footprint, SaturatedPortNoFootprintRequestsAllAdaptive)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    for (int v = 0; v < kVcs; ++v)
+        view.occupy(portOf(Dir::East), v, 50);
+    FootprintRouting fp;
+    OutputSet out;
+    fp.route(view, headFlit(0, 7), out); // East is the only option
+    Priority pri = Priority::Lowest;
+    ASSERT_TRUE(requested(out, portOf(Dir::East), 5, pri));
+    EXPECT_EQ(pri, Priority::Low);
+}
+
+TEST(Footprint, ConvergeGateConfinesConvergingTraffic)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    // Moderately congested east port (2 idle < threshold 5), with two
+    // footprint lanes for dest 7 and converging traffic to 7.
+    for (int v = 1; v < 9; ++v) {
+        view.occupy(portOf(Dir::East), v,
+                    (v == 4 || v == 6) ? 7 : 50);
+    }
+    view.setConvergence(7, 2);
+    FootprintRouting fp;
+    OutputSet out;
+    fp.route(view, headFlit(0, 7), out);
+    // Wait on the footprint VCs only.
+    Priority pri = Priority::Lowest;
+    ASSERT_TRUE(requested(out, portOf(Dir::East), 4, pri));
+    EXPECT_EQ(pri, Priority::High);
+    ASSERT_TRUE(requested(out, portOf(Dir::East), 6, pri));
+    EXPECT_EQ(pri, Priority::High);
+    EXPECT_FALSE(requested(out, portOf(Dir::East), 9, pri));
+}
+
+TEST(Footprint, SingleLaneIsNotSerialisedByConvergeGate)
+{
+    // With only one occupied footprint lane and idle VCs available,
+    // the packet stays adaptive even under convergence — a stream is
+    // never pinned to a single VC whose reallocation turnaround would
+    // cap its throughput.
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    for (int v = 1; v < 9; ++v)
+        view.occupy(portOf(Dir::East), v, v == 4 ? 7 : 50);
+    view.setConvergence(7, 5);
+    FootprintRouting fp;
+    OutputSet out;
+    fp.route(view, headFlit(0, 7), out);
+    Priority pri = Priority::Lowest;
+    ASSERT_TRUE(requested(out, portOf(Dir::East), 9, pri));
+    EXPECT_EQ(pri, Priority::Highest);
+}
+
+TEST(Footprint, NonConvergingTrafficStaysAdaptive)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    for (int v = 1; v < 9; ++v)
+        view.occupy(portOf(Dir::East), v, v == 4 ? 7 : 50);
+    view.setConvergence(7, 1); // a lone stream, not converging
+    FootprintRouting fp;
+    OutputSet out;
+    fp.route(view, headFlit(0, 7), out);
+    // The idle VC (9) must be requested at Highest priority.
+    Priority pri = Priority::Lowest;
+    ASSERT_TRUE(requested(out, portOf(Dir::East), 9, pri));
+    EXPECT_EQ(pri, Priority::Highest);
+    // The busy footprint VC is still preferred over other busy VCs.
+    ASSERT_TRUE(requested(out, portOf(Dir::East), 4, pri));
+    EXPECT_EQ(pri, Priority::High);
+    ASSERT_TRUE(requested(out, portOf(Dir::East), 5, pri));
+    EXPECT_EQ(pri, Priority::Low);
+}
+
+TEST(Footprint, DrainedLaneIsReclaimed)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    for (int v = 1; v < 9; ++v)
+        view.occupy(portOf(Dir::East), v, 50);
+    // VC 9 idle but still owned by dest 7 (persistent owner register).
+    view.drainedOwner(portOf(Dir::East), 9, 7);
+    FootprintRouting fp;
+    OutputSet out;
+    fp.route(view, headFlit(0, 7), out);
+    Priority pri = Priority::Lowest;
+    ASSERT_TRUE(requested(out, portOf(Dir::East), 9, pri));
+    EXPECT_EQ(pri, Priority::Reclaim);
+}
+
+TEST(Footprint, LiteralVariantMiddleRegime)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    for (int v = 1; v < 9; ++v)
+        view.occupy(portOf(Dir::East), v, v == 4 ? 7 : 50);
+    view.setConvergence(7, 5);
+    FootprintRouting fp(0, 0, FootprintRouting::Variant::Literal);
+    OutputSet out;
+    fp.route(view, headFlit(0, 7), out);
+    // Literal variant ignores convergence: idle VC at Highest.
+    Priority pri = Priority::Lowest;
+    ASSERT_TRUE(requested(out, portOf(Dir::East), 9, pri));
+    EXPECT_EQ(pri, Priority::Highest);
+}
+
+TEST(Footprint, WaitVariantAlwaysWaitsWhenCongested)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    for (int v = 1; v < 9; ++v)
+        view.occupy(portOf(Dir::East), v, v == 4 ? 7 : 50);
+    FootprintRouting fp(0, 0, FootprintRouting::Variant::Wait);
+    OutputSet out;
+    fp.route(view, headFlit(0, 7), out);
+    Priority pri = Priority::Lowest;
+    EXPECT_FALSE(requested(out, portOf(Dir::East), 9, pri));
+    ASSERT_TRUE(requested(out, portOf(Dir::East), 4, pri));
+    EXPECT_EQ(pri, Priority::High);
+}
+
+TEST(Footprint, VcCapLimitsFootprintGrowth)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    // Two occupied footprint VCs with cap 2: must wait even though
+    // the port is otherwise idle.
+    view.occupy(portOf(Dir::East), 2, 7);
+    view.occupy(portOf(Dir::East), 3, 7);
+    FootprintRouting fp(0, /*fp_vc_cap=*/2);
+    OutputSet out;
+    fp.route(view, headFlit(0, 7), out);
+    Priority pri = Priority::Lowest;
+    ASSERT_TRUE(requested(out, portOf(Dir::East), 2, pri));
+    EXPECT_EQ(pri, Priority::High);
+    EXPECT_FALSE(requested(out, portOf(Dir::East), 5, pri));
+}
+
+TEST(Footprint, EjectionAppliesRegulationAtLocalPort)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 9, kVcs);
+    for (int v = 1; v < kVcs; ++v) {
+        view.occupy(portOf(Dir::Local), v,
+                    (v == 2 || v == 5) ? 9 : 50);
+    }
+    view.setConvergence(9, 3);
+    FootprintRouting fp;
+    OutputSet out;
+    fp.route(view, headFlit(0, 9), out);
+    Priority pri = Priority::Lowest;
+    ASSERT_TRUE(requested(out, portOf(Dir::Local), 2, pri));
+    EXPECT_EQ(pri, Priority::High);
+    // Escape VC on the local port keeps ejection deadlock-free.
+    ASSERT_TRUE(requested(out, portOf(Dir::Local), 0, pri));
+    EXPECT_EQ(pri, Priority::Lowest);
+}
+
+TEST(Footprint, ThresholdDefaultsToHalfTheVcs)
+{
+    FootprintRouting fp;
+    EXPECT_EQ(fp.congestionThreshold(10), 5);
+    EXPECT_EQ(fp.congestionThreshold(2), 1);
+    FootprintRouting fp3(3);
+    EXPECT_EQ(fp3.congestionThreshold(10), 3);
+}
+
+TEST(Footprint, ParseVariant)
+{
+    EXPECT_EQ(FootprintRouting::parseVariant("literal"),
+              FootprintRouting::Variant::Literal);
+    EXPECT_EQ(FootprintRouting::parseVariant("wait"),
+              FootprintRouting::Variant::Wait);
+    EXPECT_EQ(FootprintRouting::parseVariant("converge"),
+              FootprintRouting::Variant::Converge);
+    EXPECT_EXIT(FootprintRouting::parseVariant("bogus"),
+                testing::ExitedWithCode(1), "unknown footprint");
+}
+
+TEST(Footprint, Properties)
+{
+    FootprintRouting fp;
+    EXPECT_EQ(fp.name(), "footprint");
+    EXPECT_TRUE(fp.atomicVcAlloc());
+    EXPECT_EQ(fp.numEscapeVcs(), 1);
+}
+
+} // namespace
+} // namespace footprint

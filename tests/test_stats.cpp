@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace footprint {
+namespace {
+
+TEST(StatAccumulator, EmptyIsZero)
+{
+    StatAccumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(StatAccumulator, SingleSample)
+{
+    StatAccumulator acc;
+    acc.add(5.0);
+    EXPECT_EQ(acc.count(), 1u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(StatAccumulator, MeanMinMax)
+{
+    StatAccumulator acc;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        acc.add(v);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+}
+
+TEST(StatAccumulator, Variance)
+{
+    StatAccumulator acc;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(v);
+    EXPECT_NEAR(acc.variance(), 4.0, 1e-9);
+    EXPECT_NEAR(acc.stddev(), 2.0, 1e-9);
+}
+
+TEST(StatAccumulator, NegativeSamples)
+{
+    StatAccumulator acc;
+    acc.add(-3.0);
+    acc.add(3.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.min(), -3.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+}
+
+TEST(StatAccumulator, ResetClears)
+{
+    StatAccumulator acc;
+    acc.add(1.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+}
+
+TEST(StatAccumulator, MergeCombinesSamples)
+{
+    StatAccumulator a;
+    StatAccumulator b;
+    a.add(1.0);
+    a.add(2.0);
+    b.add(3.0);
+    b.add(4.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+}
+
+TEST(StatAccumulator, MergeWithEmpty)
+{
+    StatAccumulator a;
+    StatAccumulator b;
+    a.add(2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Histogram, BinsSamplesCorrectly)
+{
+    Histogram h(10.0, 5);
+    h.add(0.0);
+    h.add(9.99);
+    h.add(10.0);
+    h.add(45.0);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, OverflowBin)
+{
+    Histogram h(1.0, 4);
+    h.add(100.0);
+    h.add(3.5);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+}
+
+TEST(Histogram, NegativeClampsToFirstBin)
+{
+    Histogram h(1.0, 4);
+    h.add(-5.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(1.0, 4);
+    h.add(2.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.binCount(2), 0u);
+}
+
+TEST(Histogram, PercentileMedian)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 1.5);
+}
+
+TEST(Histogram, ToStringListsNonEmptyBins)
+{
+    Histogram h(1.0, 4);
+    h.add(1.5);
+    const std::string s = h.toString();
+    EXPECT_NE(s.find("1-2: 1"), std::string::npos);
+    EXPECT_EQ(s.find("0-1"), std::string::npos);
+}
+
+} // namespace
+} // namespace footprint

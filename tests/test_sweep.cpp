@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the experiment drivers (latency-throughput curves and
+ * saturation search) on a small, fast configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/sweep.hpp"
+#include "sim/config.hpp"
+
+namespace footprint {
+namespace {
+
+SimConfig
+tinyConfig()
+{
+    SimConfig cfg = defaultConfig();
+    cfg.setInt("mesh_width", 4);
+    cfg.setInt("mesh_height", 4);
+    cfg.setInt("num_vcs", 4);
+    cfg.set("routing", "dor");
+    cfg.set("traffic", "uniform");
+    cfg.setInt("warmup_cycles", 200);
+    cfg.setInt("measure_cycles", 600);
+    cfg.setInt("drain_cycles", 3000);
+    return cfg;
+}
+
+TEST(Linspace, EndpointsAndSpacing)
+{
+    const auto v = linspace(0.1, 0.5, 5);
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_DOUBLE_EQ(v.front(), 0.1);
+    EXPECT_DOUBLE_EQ(v.back(), 0.5);
+    EXPECT_NEAR(v[1] - v[0], 0.1, 1e-12);
+    EXPECT_NEAR(v[3] - v[2], 0.1, 1e-12);
+}
+
+TEST(ZeroLoadLatency, IsSmallAndPositive)
+{
+    const double l0 = zeroLoadLatency(tinyConfig());
+    EXPECT_GT(l0, 3.0);
+    EXPECT_LT(l0, 15.0);
+}
+
+TEST(LatencyThroughputCurve, LatencyIncreasesWithLoad)
+{
+    const auto points =
+        latencyThroughputCurve(tinyConfig(), {0.05, 0.2, 0.35});
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_LT(points[0].latency, points[2].latency);
+    for (const auto& p : points) {
+        EXPECT_GT(p.latency, 0.0);
+        EXPECT_NEAR(p.accepted, p.offered, 0.05);
+        EXPECT_FALSE(p.saturated) << "offered " << p.offered;
+    }
+}
+
+TEST(LatencyThroughputCurve, OverloadedPointIsMarkedSaturated)
+{
+    SimConfig cfg = tinyConfig();
+    cfg.set("traffic", "transpose");
+    cfg.setInt("drain_cycles", 1200);
+    const auto points = latencyThroughputCurve(cfg, {0.9});
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_TRUE(points[0].saturated);
+    // Accepted throughput saturates below offered.
+    EXPECT_LT(points[0].accepted, 0.6);
+}
+
+TEST(SaturationThroughput, LiesInPlausibleRange)
+{
+    const double sat = saturationThroughput(tinyConfig(), 3.0, 0.05);
+    // 4x4 uniform with DOR: saturation well above 0.2 and below 1.0.
+    EXPECT_GT(sat, 0.2);
+    EXPECT_LT(sat, 1.0);
+}
+
+TEST(SaturationThroughput, AdversePatternSaturatesEarlier)
+{
+    SimConfig uniform = tinyConfig();
+    SimConfig transpose = tinyConfig();
+    transpose.set("traffic", "transpose");
+    transpose.setInt("drain_cycles", 1500);
+    const double s_uniform = saturationThroughput(uniform, 3.0, 0.05);
+    const double s_transpose =
+        saturationThroughput(transpose, 3.0, 0.05);
+    EXPECT_LT(s_transpose, s_uniform);
+}
+
+TEST(FormatCurve, ContainsLabelAndNumbers)
+{
+    std::vector<CurvePoint> pts{{0.1, 0.1, 12.0, false},
+                                {0.5, 0.4, 900.0, true}};
+    const std::string s = formatCurve("dor/uniform", pts);
+    EXPECT_NE(s.find("dor/uniform"), std::string::npos);
+    EXPECT_NE(s.find("offered=0.100"), std::string::npos);
+    EXPECT_NE(s.find("[saturated]"), std::string::npos);
+}
+
+} // namespace
+} // namespace footprint

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the XORDET static VC-mapping combinator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fake_router_view.hpp"
+#include "routing/dbar.hpp"
+#include "routing/dor.hpp"
+#include "routing/xordet.hpp"
+#include "sim/config.hpp"
+
+namespace footprint {
+namespace {
+
+constexpr int kVcs = 4;
+
+std::unique_ptr<XordetRouting>
+dorXordet()
+{
+    return std::make_unique<XordetRouting>(
+        std::make_unique<DorRouting>());
+}
+
+TEST(Xordet, NameCombinesBase)
+{
+    EXPECT_EQ(dorXordet()->name(), "dor+xordet");
+    XordetRouting dx(std::make_unique<DbarRouting>());
+    EXPECT_EQ(dx.name(), "dbar+xordet");
+}
+
+TEST(Xordet, MappingIsDeterministicPerDestination)
+{
+    const Mesh mesh(8, 8);
+    auto x = dorXordet();
+    for (int d = 0; d < 64; ++d) {
+        EXPECT_EQ(x->vcFor(mesh, d, kVcs), x->vcFor(mesh, d, kVcs));
+        EXPECT_GE(x->vcFor(mesh, d, kVcs), 0);
+        EXPECT_LT(x->vcFor(mesh, d, kVcs), kVcs);
+    }
+}
+
+TEST(Xordet, MappingUsesXorOfCoordinates)
+{
+    const Mesh mesh(4, 4);
+    auto x = dorXordet();
+    // (x ^ y) mod 4 with no escape offset for a DOR base.
+    EXPECT_EQ(x->vcFor(mesh, mesh.nodeId(Coord{1, 3}), 4), 2);
+    EXPECT_EQ(x->vcFor(mesh, mesh.nodeId(Coord{3, 3}), 4), 0);
+    EXPECT_EQ(x->vcFor(mesh, mesh.nodeId(Coord{2, 2}), 4), 0);
+}
+
+TEST(Xordet, Figure2CollisionStructure)
+{
+    // In Fig. 2(c), the two hotspot flows (to n13) share one VC while
+    // the two network-congested flows (to n10 and n15) share another:
+    // destinations 10 and 15 must map together, and differently from
+    // destination 13.
+    const Mesh mesh(4, 4);
+    auto x = dorXordet();
+    EXPECT_EQ(x->vcFor(mesh, 10, 4), x->vcFor(mesh, 15, 4));
+    EXPECT_NE(x->vcFor(mesh, 10, 4), x->vcFor(mesh, 13, 4));
+}
+
+TEST(Xordet, EscapeVcIsSkippedForDuatoBase)
+{
+    const Mesh mesh(8, 8);
+    XordetRouting x(std::make_unique<DbarRouting>());
+    for (int d = 0; d < 64; ++d) {
+        EXPECT_GE(x.vcFor(mesh, d, kVcs), 1)
+            << "mapped onto the escape VC";
+        EXPECT_LT(x.vcFor(mesh, d, kVcs), kVcs);
+    }
+}
+
+TEST(Xordet, DorBaseRequestsOnlyMappedVc)
+{
+    const Mesh mesh(4, 4);
+    FakeRouterView view(mesh, 0, kVcs);
+    auto x = dorXordet();
+    OutputSet out;
+    x->route(view, headFlit(0, 10), out);
+    ASSERT_EQ(out.requests().size(), 1u);
+    EXPECT_EQ(out.requests()[0].port, portOf(Dir::East));
+    const int vc = x->vcFor(mesh, 10, kVcs);
+    EXPECT_EQ(out.requests()[0].vcs, VcMask{1} << vc);
+}
+
+TEST(Xordet, DbarBasePreservesEscapeRequest)
+{
+    const Mesh mesh(8, 8);
+    FakeRouterView view(mesh, 0, kVcs);
+    XordetRouting x(std::make_unique<DbarRouting>());
+    OutputSet out;
+    x.route(view, headFlit(0, 18), out);
+    bool saw_escape = false;
+    bool saw_mapped = false;
+    for (const auto& r : out.requests()) {
+        if (r.priority == Priority::Lowest) {
+            saw_escape = true;
+            EXPECT_EQ(r.vcs, VcMask{1});
+        } else {
+            saw_mapped = true;
+            EXPECT_EQ(popcount(r.vcs), 1);
+            EXPECT_NE(r.vcs & VcMask{1}, VcMask{1}) << "escape reused";
+        }
+    }
+    EXPECT_TRUE(saw_escape);
+    EXPECT_TRUE(saw_mapped);
+}
+
+TEST(Xordet, InheritsReallocationPolicy)
+{
+    XordetRouting on_dor(std::make_unique<DorRouting>());
+    EXPECT_FALSE(on_dor.atomicVcAlloc());
+    EXPECT_EQ(on_dor.numEscapeVcs(), 0);
+    XordetRouting on_dbar(std::make_unique<DbarRouting>());
+    EXPECT_TRUE(on_dbar.atomicVcAlloc());
+    EXPECT_EQ(on_dbar.numEscapeVcs(), 1);
+}
+
+TEST(RoutingFactory, BuildsAllAdvertisedAlgorithms)
+{
+    const SimConfig cfg = defaultConfig();
+    for (const auto& name : allRoutingAlgorithmNames()) {
+        auto algo = makeRoutingAlgorithm(name, cfg);
+        ASSERT_NE(algo, nullptr);
+        EXPECT_EQ(algo->name(), name);
+    }
+}
+
+TEST(RoutingFactory, UnknownNameIsFatal)
+{
+    const SimConfig cfg = defaultConfig();
+    EXPECT_EXIT((void)makeRoutingAlgorithm("warp", cfg),
+                testing::ExitedWithCode(1), "unknown routing");
+}
+
+} // namespace
+} // namespace footprint
