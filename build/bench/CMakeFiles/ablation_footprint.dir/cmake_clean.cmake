@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_footprint.dir/ablation_footprint.cpp.o"
+  "CMakeFiles/ablation_footprint.dir/ablation_footprint.cpp.o.d"
+  "ablation_footprint"
+  "ablation_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_traces.dir/fig10_traces.cpp.o"
+  "CMakeFiles/fig10_traces.dir/fig10_traces.cpp.o.d"
+  "fig10_traces"
+  "fig10_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_congestion_tree.dir/fig2_congestion_tree.cpp.o"
+  "CMakeFiles/fig2_congestion_tree.dir/fig2_congestion_tree.cpp.o.d"
+  "fig2_congestion_tree"
+  "fig2_congestion_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_congestion_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_single_flit.dir/fig5_single_flit.cpp.o"
+  "CMakeFiles/fig5_single_flit.dir/fig5_single_flit.cpp.o.d"
+  "fig5_single_flit"
+  "fig5_single_flit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_single_flit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_netsize.dir/fig8_netsize.cpp.o"
+  "CMakeFiles/fig8_netsize.dir/fig8_netsize.cpp.o.d"
+  "fig8_netsize"
+  "fig8_netsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_netsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_hotspot.dir/fig9_hotspot.cpp.o"
+  "CMakeFiles/fig9_hotspot.dir/fig9_hotspot.cpp.o.d"
+  "fig9_hotspot"
+  "fig9_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

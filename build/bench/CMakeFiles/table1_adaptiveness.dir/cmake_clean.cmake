@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_adaptiveness.dir/table1_adaptiveness.cpp.o"
+  "CMakeFiles/table1_adaptiveness.dir/table1_adaptiveness.cpp.o.d"
+  "table1_adaptiveness"
+  "table1_adaptiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_adaptiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

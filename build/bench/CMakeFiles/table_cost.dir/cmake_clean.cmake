@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_cost.dir/table_cost.cpp.o"
+  "CMakeFiles/table_cost.dir/table_cost.cpp.o.d"
+  "table_cost"
+  "table_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_isolation.dir/hotspot_isolation.cpp.o"
+  "CMakeFiles/hotspot_isolation.dir/hotspot_isolation.cpp.o.d"
+  "hotspot_isolation"
+  "hotspot_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

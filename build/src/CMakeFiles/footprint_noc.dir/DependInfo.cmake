@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/adaptiveness.cpp" "src/CMakeFiles/footprint_noc.dir/metrics/adaptiveness.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/metrics/adaptiveness.cpp.o.d"
+  "/root/repo/src/metrics/congestion_tree.cpp" "src/CMakeFiles/footprint_noc.dir/metrics/congestion_tree.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/metrics/congestion_tree.cpp.o.d"
+  "/root/repo/src/metrics/cost_model.cpp" "src/CMakeFiles/footprint_noc.dir/metrics/cost_model.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/metrics/cost_model.cpp.o.d"
+  "/root/repo/src/metrics/purity.cpp" "src/CMakeFiles/footprint_noc.dir/metrics/purity.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/metrics/purity.cpp.o.d"
+  "/root/repo/src/network/endpoint.cpp" "src/CMakeFiles/footprint_noc.dir/network/endpoint.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/network/endpoint.cpp.o.d"
+  "/root/repo/src/network/network.cpp" "src/CMakeFiles/footprint_noc.dir/network/network.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/network/network.cpp.o.d"
+  "/root/repo/src/network/sweep.cpp" "src/CMakeFiles/footprint_noc.dir/network/sweep.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/network/sweep.cpp.o.d"
+  "/root/repo/src/network/traffic_manager.cpp" "src/CMakeFiles/footprint_noc.dir/network/traffic_manager.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/network/traffic_manager.cpp.o.d"
+  "/root/repo/src/router/allocators.cpp" "src/CMakeFiles/footprint_noc.dir/router/allocators.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/router/allocators.cpp.o.d"
+  "/root/repo/src/router/channel.cpp" "src/CMakeFiles/footprint_noc.dir/router/channel.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/router/channel.cpp.o.d"
+  "/root/repo/src/router/flit.cpp" "src/CMakeFiles/footprint_noc.dir/router/flit.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/router/flit.cpp.o.d"
+  "/root/repo/src/router/router.cpp" "src/CMakeFiles/footprint_noc.dir/router/router.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/router/router.cpp.o.d"
+  "/root/repo/src/router/vc_state.cpp" "src/CMakeFiles/footprint_noc.dir/router/vc_state.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/router/vc_state.cpp.o.d"
+  "/root/repo/src/routing/dbar.cpp" "src/CMakeFiles/footprint_noc.dir/routing/dbar.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/routing/dbar.cpp.o.d"
+  "/root/repo/src/routing/dor.cpp" "src/CMakeFiles/footprint_noc.dir/routing/dor.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/routing/dor.cpp.o.d"
+  "/root/repo/src/routing/footprint.cpp" "src/CMakeFiles/footprint_noc.dir/routing/footprint.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/routing/footprint.cpp.o.d"
+  "/root/repo/src/routing/odd_even.cpp" "src/CMakeFiles/footprint_noc.dir/routing/odd_even.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/routing/odd_even.cpp.o.d"
+  "/root/repo/src/routing/routing.cpp" "src/CMakeFiles/footprint_noc.dir/routing/routing.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/routing/routing.cpp.o.d"
+  "/root/repo/src/routing/xordet.cpp" "src/CMakeFiles/footprint_noc.dir/routing/xordet.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/routing/xordet.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/footprint_noc.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/log.cpp" "src/CMakeFiles/footprint_noc.dir/sim/log.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/sim/log.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/footprint_noc.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/footprint_noc.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/topo/mesh.cpp" "src/CMakeFiles/footprint_noc.dir/topo/mesh.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/topo/mesh.cpp.o.d"
+  "/root/repo/src/traffic/injection.cpp" "src/CMakeFiles/footprint_noc.dir/traffic/injection.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/traffic/injection.cpp.o.d"
+  "/root/repo/src/traffic/pattern.cpp" "src/CMakeFiles/footprint_noc.dir/traffic/pattern.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/traffic/pattern.cpp.o.d"
+  "/root/repo/src/traffic/trace.cpp" "src/CMakeFiles/footprint_noc.dir/traffic/trace.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/traffic/trace.cpp.o.d"
+  "/root/repo/src/traffic/trace_gen.cpp" "src/CMakeFiles/footprint_noc.dir/traffic/trace_gen.cpp.o" "gcc" "src/CMakeFiles/footprint_noc.dir/traffic/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfootprint_noc.a"
+)

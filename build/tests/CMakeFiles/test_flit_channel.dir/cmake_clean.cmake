@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flit_channel.dir/test_flit_channel.cpp.o"
+  "CMakeFiles/test_flit_channel.dir/test_flit_channel.cpp.o.d"
+  "test_flit_channel"
+  "test_flit_channel.pdb"
+  "test_flit_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flit_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

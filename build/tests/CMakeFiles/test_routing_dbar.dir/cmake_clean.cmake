@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_dbar.dir/test_routing_dbar.cpp.o"
+  "CMakeFiles/test_routing_dbar.dir/test_routing_dbar.cpp.o.d"
+  "test_routing_dbar"
+  "test_routing_dbar.pdb"
+  "test_routing_dbar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_dbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_footprint.dir/test_routing_footprint.cpp.o"
+  "CMakeFiles/test_routing_footprint.dir/test_routing_footprint.cpp.o.d"
+  "test_routing_footprint"
+  "test_routing_footprint.pdb"
+  "test_routing_footprint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

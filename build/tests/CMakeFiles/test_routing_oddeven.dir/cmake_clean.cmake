@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_oddeven.dir/test_routing_oddeven.cpp.o"
+  "CMakeFiles/test_routing_oddeven.dir/test_routing_oddeven.cpp.o.d"
+  "test_routing_oddeven"
+  "test_routing_oddeven.pdb"
+  "test_routing_oddeven[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_oddeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

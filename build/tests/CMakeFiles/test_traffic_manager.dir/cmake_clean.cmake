@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_manager.dir/test_traffic_manager.cpp.o"
+  "CMakeFiles/test_traffic_manager.dir/test_traffic_manager.cpp.o.d"
+  "test_traffic_manager"
+  "test_traffic_manager.pdb"
+  "test_traffic_manager[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

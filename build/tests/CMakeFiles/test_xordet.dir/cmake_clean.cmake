@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xordet.dir/test_xordet.cpp.o"
+  "CMakeFiles/test_xordet.dir/test_xordet.cpp.o.d"
+  "test_xordet"
+  "test_xordet.pdb"
+  "test_xordet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xordet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

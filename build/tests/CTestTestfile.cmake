@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_log[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_flit_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_vc_state[1]_include.cmake")
+include("/root/repo/build/tests/test_allocators[1]_include.cmake")
+include("/root/repo/build/tests/test_router[1]_include.cmake")
+include("/root/repo/build/tests/test_routing_dor[1]_include.cmake")
+include("/root/repo/build/tests/test_routing_oddeven[1]_include.cmake")
+include("/root/repo/build/tests/test_routing_dbar[1]_include.cmake")
+include("/root/repo/build/tests/test_routing_footprint[1]_include.cmake")
+include("/root/repo/build/tests/test_xordet[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_endpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic_manager[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_sweep[1]_include.cmake")
