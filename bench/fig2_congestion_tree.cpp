@@ -11,6 +11,11 @@
  * fully adaptive routing should spread them further, XORDET should be
  * thin-but-static, and Footprint should be both thin and adaptive
  * (Fig. 2(d)).
+ *
+ * The transient view comes from the telemetry hub: each run samples
+ * the hotspot router's footprint-lane count and buffered flits every
+ * 10 cycles, and the harness reports when the tree reached its final
+ * extent (formation time) alongside the end-state snapshot.
  */
 
 #include <cstdio>
@@ -18,6 +23,7 @@
 #include "bench_common.hpp"
 #include "metrics/congestion_tree.hpp"
 #include "network/network.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
 
@@ -28,6 +34,8 @@ struct Flow
     int src;
     int dest;
 };
+
+constexpr int kHotspot = 13;  ///< the oversubscribed endpoint
 
 /** Drive the Fig. 2 flows at full rate for a while, then snapshot. */
 void
@@ -42,9 +50,20 @@ runScenario(const std::string& label, const std::string& algo,
     cfg.setInt("fp_vc_cap", fp_vc_cap);
     Network net(cfg);
 
-    const Flow flows[] = {{0, 10}, {1, 15}, {4, 13}, {12, 13}};
+    // In-memory telemetry: per-router channels, sampled every 10
+    // cycles, no file sinks.
+    TelemetryConfig tc;
+    tc.keepInMemory = true;
+    tc.sampleInterval = 10;
+    TelemetryHub hub(tc);
+    net.attachTelemetry(hub);
+    hub.beginPhase("measure", 0);
+
+    const Flow flows[] = {{0, 10}, {1, 15}, {4, kHotspot},
+                          {12, kHotspot}};
     std::uint64_t id = 0;
-    for (std::int64_t cycle = 0; cycle < 300; ++cycle) {
+    std::int64_t cycle = 0;
+    for (; cycle < 300; ++cycle) {
         // Persistent flows: keep every source backlogged.
         for (const Flow& f : flows) {
             if (net.endpoint(f.src).sourceBacklogFlits() < 8) {
@@ -58,18 +77,43 @@ runScenario(const std::string& label, const std::string& algo,
             }
         }
         net.step(cycle);
+        hub.tick(cycle);
         for (int n = 0; n < 16; ++n)
             (void)net.endpoint(n).drainEjected();
     }
+    hub.finish(cycle - 1);
 
-    const CongestionTree hotspot = extractCongestionTree(net, 13);
+    const CongestionTree hotspot = extractCongestionTree(net, kHotspot);
     const int all_flows_vcs =
-        totalCongestionVcs(net, {10, 15, 13});
+        totalCongestionVcs(net, {10, 15, kHotspot});
+
+    // Formation time of the hotspot's congestion tree, read off the
+    // sampled footprint-lane series of the hotspot router: the first
+    // sample at which the lane count reached its steady value.
+    const std::string fp_chan =
+        "r" + std::to_string(kHotspot) + ".fp_occ";
+    const auto& series = hub.series(fp_chan);
+    std::int64_t formed = -1;
+    if (!series.empty()) {
+        const double steady = series.back().value;
+        for (const Sample& s : series) {
+            if (s.value >= steady) {
+                formed = s.cycle;
+                break;
+            }
+        }
+    }
+
     std::printf("%-18s endpoint-tree(n13): %2d branches, %2d VCs, "
-                "avg thickness %.2f, max %d | all-flow VCs: %d\n",
+                "avg thickness %.2f, max %d | all-flow VCs: %d | "
+                "lanes steady@%4lld, occ avg %.1f\n",
                 label.c_str(), hotspot.numBranches(),
                 hotspot.totalVcs(), hotspot.avgThickness(),
-                hotspot.maxThickness(), all_flows_vcs);
+                hotspot.maxThickness(), all_flows_vcs,
+                static_cast<long long>(formed),
+                hub.meanInPhase(
+                    "r" + std::to_string(kHotspot) + ".vc_occ",
+                    "measure"));
 }
 
 } // namespace

@@ -6,16 +6,51 @@
  * Footprint's saturation-throughput gain growing with VC count for
  * uniform/shuffle (12.5% at 2 VCs to 23.1% at 16 under uniform) and
  * shrinking for transpose (33% at 2 VCs to 22% at 16).
+ *
+ * Alongside the saturation ladder, each (algorithm, VC count) cell
+ * runs once near its saturation point with the telemetry hub attached
+ * and reports the measured per-router VC occupancy (mean buffered
+ * flits during the measurement phase) — the queueing-state view the
+ * ladder alone cannot show.
  */
 
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "obs/telemetry.hpp"
+
+namespace {
+
+using namespace footprint;
+
+/**
+ * Mean flits buffered per router over the measurement phase at
+ * @p rate, sampled through an in-memory telemetry hub (aggregate
+ * channels only).
+ */
+double
+meanRouterOccupancy(SimConfig cfg, double rate)
+{
+    cfg.setDouble("injection_rate", rate);
+    const int nodes = static_cast<int>(cfg.getInt("mesh_width")
+                                       * cfg.getInt("mesh_height"));
+    TelemetryConfig tc;
+    tc.keepInMemory = true;
+    tc.sampleInterval = 50;
+    tc.perRouter = false;
+    TelemetryHub hub(tc);
+    TrafficManager tm(cfg);
+    tm.attachTelemetry(&hub);
+    tm.run();
+    return hub.meanInPhase("net.vc_occ", "measure")
+        / static_cast<double>(nodes);
+}
+
+} // namespace
 
 int
 main()
 {
-    using namespace footprint;
     using namespace footprint::bench;
     setQuiet(true);
 
@@ -25,21 +60,27 @@ main()
 
     for (const char* pattern : {"uniform", "transpose", "shuffle"}) {
         std::printf("\n-- %s --\n", pattern);
-        std::printf("%6s %14s %14s %10s\n", "VCs", "dbar_sat",
-                    "footprint_sat", "gain");
+        std::printf("%6s %14s %14s %10s %10s %10s\n", "VCs",
+                    "dbar_sat", "footprint_sat", "gain", "dbar_occ",
+                    "fp_occ");
         for (int vcs : {2, 4, 8, 16}) {
             double sat[2] = {0.0, 0.0};
+            double occ[2] = {0.0, 0.0};
             int i = 0;
             for (const char* algo : {"dbar", "footprint"}) {
                 SimConfig cfg = benchBaseline();
                 cfg.set("traffic", pattern);
                 cfg.set("routing", algo);
                 cfg.setInt("num_vcs", vcs);
-                sat[i++] = saturationFromLadder(
+                sat[i] = saturationFromLadder(
                     latencyThroughputCurve(cfg, rates));
+                // Queueing state just below this cell's saturation.
+                occ[i] = meanRouterOccupancy(cfg, 0.9 * sat[i]);
+                ++i;
             }
-            std::printf("%6d %14.3f %14.3f %+9.1f%%\n", vcs, sat[0],
-                        sat[1], pctGain(sat[1], sat[0]));
+            std::printf("%6d %14.3f %14.3f %+9.1f%% %10.2f %10.2f\n",
+                        vcs, sat[0], sat[1], pctGain(sat[1], sat[0]),
+                        occ[0], occ[1]);
         }
     }
     return 0;

@@ -8,8 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "network/network.hpp"
 #include "network/traffic_manager.hpp"
+#include "obs/telemetry.hpp"
 #include "router/allocators.hpp"
 #include "routing/routing.hpp"
 #include "sim/config.hpp"
@@ -78,6 +81,73 @@ BM_NetworkCycle(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_NetworkCycle)->Arg(10)->Arg(30)->Arg(45);
+
+/**
+ * Shared body of the telemetry-overhead benchmarks: a whole-network
+ * cycle at 30% load with a hub in the given state. The "Idle" variant
+ * (attached but with sampling and tracing disabled) against plain
+ * BM_NetworkCycle/30 is the overhead gate of the CI workflow: the two
+ * must stay within 2% of each other, i.e. disabled telemetry must
+ * cost no more than its guard branches.
+ */
+void
+runTelemetryCycle(benchmark::State& state, TelemetryHub* hub)
+{
+    SimConfig cfg = netConfig("footprint");
+    setQuiet(true);
+    Network net(cfg);
+    if (hub)
+        net.attachTelemetry(*hub);
+    Rng gen(7);
+    std::uint64_t id = 0;
+    std::int64_t cycle = 0;
+    for (auto _ : state) {
+        for (int n = 0; n < 64; ++n) {
+            if (gen.nextBool(0.30)) {
+                Packet p;
+                p.id = ++id;
+                p.src = n;
+                p.dest = static_cast<int>(gen.nextBounded(64));
+                if (p.dest == n)
+                    continue;
+                p.size = 1;
+                p.createTime = cycle;
+                net.endpoint(n).enqueue(p);
+            }
+        }
+        net.step(cycle);
+        if (hub)
+            hub->tick(cycle);
+        ++cycle;
+        for (int n = 0; n < 64; ++n)
+            (void)net.endpoint(n).drainEjected();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+
+void
+BM_NetworkCycleTelemetryIdle(benchmark::State& state)
+{
+    // Compiled in, attached, but disabled: the hot path sees only the
+    // null-tracer and sampling-off branches.
+    TelemetryHub hub;
+    runTelemetryCycle(state, &hub);
+}
+BENCHMARK(BM_NetworkCycleTelemetryIdle);
+
+void
+BM_NetworkCycleTelemetryActive(benchmark::State& state)
+{
+    // Full per-router sampling into an in-memory CSV sink at the
+    // given interval.
+    std::ostringstream ts;
+    TelemetryConfig tc;
+    tc.sampleInterval = state.range(0);
+    TelemetryHub hub(tc);
+    hub.addSink(std::make_unique<CsvSink>(ts));
+    runTelemetryCycle(state, &hub);
+}
+BENCHMARK(BM_NetworkCycleTelemetryActive)->Arg(100)->Arg(10);
 
 void
 BM_RoutingFunction(benchmark::State& state)

@@ -5,9 +5,16 @@
  * one experiment, and print a complete statistics report including the
  * latency distribution.
  *
- * Usage: simulate [config=<file>] [key=value ...]
+ * Usage: simulate [config=<file>] [key=value ...] [--key value ...]
  *   e.g. simulate config=examples/configs/hotspot.cfg routing=dbar
  *        simulate traffic=shuffle injection_rate=0.42 num_vcs=8
+ *
+ * Telemetry flags (sugar over the telemetry_* config keys):
+ *   --telemetry-out FILE    per-interval time series (CSV by default)
+ *   --telemetry-format FMT  csv | jsonl
+ *   --sample-interval N     cycles between samples (default 100)
+ *   --trace-packets N       JSONL lifecycle trace of packets 1..N
+ *   --trace-out FILE        trace path (default trace.jsonl)
  */
 
 #include <cstdio>
@@ -18,6 +25,22 @@
 #include "sim/config.hpp"
 #include "sim/log.hpp"
 
+namespace {
+
+/** Map "--some-flag" to its config key, e.g. "some_flag". */
+std::string
+flagToKey(const std::string& flag)
+{
+    std::string key = flag.substr(2);
+    for (char& c : key) {
+        if (c == '-')
+            c = '_';
+    }
+    return key;
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
@@ -26,12 +49,20 @@ main(int argc, char** argv)
     SimConfig cfg = defaultConfig();
     // A config= argument loads a file first; later key=value overrides
     // win, matching BookSim's "config file then overrides" convention.
+    // "--key value" flags are equivalent to "key=value" with dashes
+    // mapped to underscores.
     for (int i = 1; i < argc; ++i) {
         const std::string arg(argv[i]);
         if (arg.rfind("config=", 0) == 0) {
             cfg.loadFile(arg.substr(7));
+        } else if (arg.rfind("--", 0) == 0) {
+            const std::string key = flagToKey(arg);
+            if (key.empty() || i + 1 >= argc)
+                fatal("flag " + arg + " needs a value");
+            cfg.set(key, argv[++i]);
         } else if (!cfg.parseAssignment(arg)) {
-            fatal("arguments must be key=value, got: " + arg);
+            fatal("arguments must be key=value or --key value, got: "
+                  + arg);
         }
     }
 
@@ -79,5 +110,21 @@ main(int argc, char** argv)
                     stats.counters.vcAllocFail));
     std::printf("purity of blocking       : %.3f (HoL degree %.0f)\n",
                 stats.counters.purity(), stats.counters.holDegree());
+    const std::string ts_out = cfg.getStr("telemetry_out");
+    if (!ts_out.empty()) {
+        std::printf("telemetry time series    : %s (every %lld "
+                    "cycles)\n",
+                    ts_out.c_str(),
+                    static_cast<long long>(
+                        cfg.getInt("sample_interval")));
+    }
+    if (cfg.getInt("trace_packets") > 0) {
+        const std::string trace_out = cfg.getStr("trace_out");
+        std::printf("packet lifecycle trace   : %s (packets 1..%lld)\n",
+                    trace_out.empty() ? "trace.jsonl"
+                                      : trace_out.c_str(),
+                    static_cast<long long>(
+                        cfg.getInt("trace_packets")));
+    }
     return 0;
 }

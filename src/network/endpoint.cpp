@@ -1,5 +1,6 @@
 #include "network/endpoint.hpp"
 
+#include "obs/packet_tracer.hpp"
 #include "sim/log.hpp"
 
 namespace footprint {
@@ -127,6 +128,8 @@ Endpoint::computePhase(std::int64_t cycle)
         if (creditToRouter_)
             creditToRouter_->send(Credit{picked}, cycle);
         if (f.tail) {
+            if (tracer_ && tracer_->traced(f.packetId))
+                tracer_->onEject(f, node_, cycle);
             EjectedPacket p;
             p.packetId = f.packetId;
             p.src = f.src;

@@ -20,6 +20,8 @@
 
 namespace footprint {
 
+class PacketTracer;
+
 /** A completed (fully ejected) packet, for statistics collection. */
 struct EjectedPacket
 {
@@ -85,6 +87,12 @@ class Endpoint
     std::uint64_t flitsInjected() const { return flitsInjected_; }
     std::uint64_t flitsEjected() const { return flitsEjected_; }
 
+    /**
+     * Attach (or detach with nullptr) a packet-lifecycle tracer; the
+     * sink-drain hook costs one branch while @p tracer is nullptr.
+     */
+    void setTracer(PacketTracer* tracer) { tracer_ = tracer; }
+
   private:
     bool startNextPacket();
 
@@ -112,6 +120,7 @@ class Endpoint
 
     std::uint64_t flitsInjected_ = 0;
     std::uint64_t flitsEjected_ = 0;
+    PacketTracer* tracer_ = nullptr;
 };
 
 } // namespace footprint

@@ -1,5 +1,6 @@
 #include "network/network.hpp"
 
+#include "obs/telemetry.hpp"
 #include "sim/log.hpp"
 
 namespace footprint {
@@ -65,6 +66,7 @@ Network::Network(const SimConfig& cfg)
     const int link_latency = static_cast<int>(cfg.getInt("link_latency"));
 
     status_.init(n);
+    nodeOutChannels_.resize(static_cast<std::size_t>(n));
 
     EndpointParams ep;
     ep.numVcs = params_.numVcs;
@@ -95,12 +97,14 @@ Network::Network(const SimConfig& cfg)
             CreditChannel* c_fwd = newCreditChannel(link_latency);
             router(node).connectOutput(portOf(d), f_fwd, c_fwd);
             router(nbr).connectInput(portOf(rd), f_fwd, c_fwd);
+            nodeOutChannels_[idx(node)].push_back(f_fwd);
 
             // nbr --flits--> node and its credit return path.
             FlitChannel* f_rev = newFlitChannel(link_latency);
             CreditChannel* c_rev = newCreditChannel(link_latency);
             router(nbr).connectOutput(portOf(rd), f_rev, c_rev);
             router(node).connectInput(portOf(d), f_rev, c_rev);
+            nodeOutChannels_[idx(nbr)].push_back(f_rev);
 
             router(node).setNeighbor(portOf(d), nbr);
             router(nbr).setNeighbor(portOf(rd), node);
@@ -117,6 +121,7 @@ Network::Network(const SimConfig& cfg)
         router(node).connectInput(portOf(Dir::Local), inj, inj_credit);
         router(node).connectOutput(portOf(Dir::Local), ej, ej_credit);
         endpoint(node).connect(inj, inj_credit, ej, ej_credit);
+        nodeOutChannels_[idx(node)].push_back(ej);
     }
 }
 
@@ -175,6 +180,110 @@ Network::resetCounters()
 {
     for (auto& r : routers_)
         r->resetCounters();
+}
+
+std::uint64_t
+Network::totalFlitsSent() const
+{
+    std::uint64_t total = 0;
+    for (const auto& ch : flitChannels_)
+        total += ch->sentCount();
+    return total;
+}
+
+void
+Network::attachTelemetry(TelemetryHub& hub)
+{
+    if (!hub.enabled())
+        return;
+
+    if (PacketTracer* tracer = hub.tracer()) {
+        for (auto& r : routers_)
+            r->setTracer(tracer);
+        for (auto& e : endpoints_)
+            e->setTracer(tracer);
+    }
+    if (!hub.samplingEnabled())
+        return;
+
+    const int n = mesh_.numNodes();
+
+    // Network-wide aggregates.
+    hub.addChannel("net.flits_in_flight", ChannelKind::Gauge,
+                   [this] {
+                       return static_cast<double>(totalFlitsInFlight());
+                   });
+    hub.addChannel("net.vc_occ", ChannelKind::Gauge, [this] {
+        double total = 0.0;
+        for (const auto& r : routers_)
+            total += r->inputBufferedFlits();
+        return total;
+    });
+    hub.addChannel("net.link_util", ChannelKind::Rate, [this] {
+        return static_cast<double>(totalFlitsSent())
+            / static_cast<double>(flitChannels_.size());
+    });
+    hub.addChannel("net.va_grants", ChannelKind::Counter, [this] {
+        double total = 0.0;
+        for (const auto& r : routers_)
+            total += static_cast<double>(r->counters().vcAllocSuccess);
+        return total;
+    });
+    hub.addChannel("net.va_stalls", ChannelKind::Counter, [this] {
+        double total = 0.0;
+        for (const auto& r : routers_)
+            total += static_cast<double>(r->counters().vcAllocFail);
+        return total;
+    });
+    hub.addChannel("net.fp_occ", ChannelKind::Gauge, [this] {
+        double total = 0.0;
+        for (const auto& r : routers_)
+            total += r->occupiedOutVcs();
+        return total;
+    });
+    hub.addChannel("net.inj_backlog", ChannelKind::Gauge, [this] {
+        double total = 0.0;
+        for (const auto& e : endpoints_)
+            total += static_cast<double>(e->sourceBacklogFlits());
+        return total;
+    });
+
+    if (!hub.config().perRouter)
+        return;
+
+    for (int node = 0; node < n; ++node) {
+        const std::string r = "r" + std::to_string(node) + ".";
+        Router* router = routers_[idx(node)].get();
+        hub.addChannel(r + "vc_occ", ChannelKind::Gauge, [router] {
+            return static_cast<double>(router->inputBufferedFlits());
+        });
+        hub.addChannel(r + "credits", ChannelKind::Gauge, [router] {
+            return static_cast<double>(router->totalOutputCredits());
+        });
+        hub.addChannel(r + "fp_occ", ChannelKind::Gauge, [router] {
+            return static_cast<double>(router->occupiedOutVcs());
+        });
+        hub.addChannel(r + "va_grants", ChannelKind::Counter, [router] {
+            return static_cast<double>(
+                router->counters().vcAllocSuccess);
+        });
+        hub.addChannel(r + "va_stalls", ChannelKind::Counter, [router] {
+            return static_cast<double>(router->counters().vcAllocFail);
+        });
+        const auto& links = nodeOutChannels_[idx(node)];
+        hub.addChannel(r + "link_util", ChannelKind::Rate, [&links] {
+            double sent = 0.0;
+            for (const FlitChannel* ch : links)
+                sent += static_cast<double>(ch->sentCount());
+            return sent / static_cast<double>(links.size());
+        });
+
+        const std::string e = "ep" + std::to_string(node) + ".";
+        Endpoint* ep = endpoints_[idx(node)].get();
+        hub.addChannel(e + "inj_q", ChannelKind::Gauge, [ep] {
+            return static_cast<double>(ep->sourceBacklogFlits());
+        });
+    }
 }
 
 } // namespace footprint

@@ -19,6 +19,8 @@
 
 namespace footprint {
 
+class TelemetryHub;
+
 /**
  * Double-buffered per-router status table: routers publish idle-VC
  * counts each cycle; neighbors read the previous cycle's values
@@ -79,6 +81,19 @@ class Network
     /** Reset all routers' event counters. */
     void resetCounters();
 
+    /**
+     * Register this network's probes with @p hub and wire its packet
+     * tracer into every router and endpoint. Registers network-wide
+     * aggregate channels always, and per-router / per-endpoint
+     * channels when the hub's config asks for them (see DESIGN.md
+     * "Observability" for the channel name schema). No-op on a
+     * disabled hub.
+     */
+    void attachTelemetry(TelemetryHub& hub);
+
+    /** Flits ever sent on any flit channel (links + endpoint links). */
+    std::uint64_t totalFlitsSent() const;
+
   private:
     static std::size_t idx(int node)
     {
@@ -96,6 +111,8 @@ class Network
     std::vector<std::unique_ptr<Endpoint>> endpoints_;
     std::vector<std::unique_ptr<FlitChannel>> flitChannels_;
     std::vector<std::unique_ptr<CreditChannel>> creditChannels_;
+    /** Outgoing flit channels per node (router outputs incl. local). */
+    std::vector<std::vector<const FlitChannel*>> nodeOutChannels_;
 };
 
 } // namespace footprint

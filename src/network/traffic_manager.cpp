@@ -4,6 +4,7 @@
 #include <set>
 
 #include "network/network.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/log.hpp"
 #include "sim/rng.hpp"
 #include "traffic/injection.hpp"
@@ -35,6 +36,22 @@ TrafficManager::run()
     Network net(cfg_);
     const Mesh& mesh = net.mesh();
     const int n = mesh.numNodes();
+
+    // Telemetry: an externally attached hub wins; otherwise build one
+    // from the config's telemetry_* keys when they enable anything.
+    // `hub` stays nullptr on untelemetered runs, so the per-cycle cost
+    // of the subsystem being compiled in is a single null check.
+    std::unique_ptr<TelemetryHub> owned_hub;
+    TelemetryHub* hub = externalHub_;
+    if (!hub) {
+        const TelemetryConfig tc = TelemetryHub::configFromSim(cfg_);
+        if (tc.anyEnabled()) {
+            owned_hub = std::make_unique<TelemetryHub>(tc);
+            hub = owned_hub.get();
+        }
+    }
+    if (hub)
+        net.attachTelemetry(*hub);
 
     const std::string mode = cfg_.getStr("traffic");
     const auto warmup = cfg_.getInt("warmup_cycles");
@@ -107,9 +124,17 @@ TrafficManager::run()
     std::int64_t cycle = 0;
     const std::int64_t hard_limit = warmup + measure + drain_limit;
 
+    if (hub)
+        hub->beginPhase("warmup", 0);
     for (; cycle < hard_limit; ++cycle) {
         const bool measuring = cycle >= warmup
             && cycle < warmup + measure;
+        if (hub) {
+            if (cycle == warmup)
+                hub->beginPhase("measure", cycle);
+            else if (cycle == warmup + measure)
+                hub->beginPhase("drain", cycle);
+        }
 
         // Generate traffic.
         if (is_trace) {
@@ -163,6 +188,8 @@ TrafficManager::run()
         }
 
         net.step(cycle);
+        if (hub)
+            hub->tick(cycle);
 
         // Collect completions.
         for (int node = 0; node < n; ++node) {
@@ -218,6 +245,9 @@ TrafficManager::run()
             break;
         }
     }
+
+    if (hub)
+        hub->finish(cycle);
 
     stats.cyclesRun = cycle;
     stats.saturated = !stats.drained;

@@ -17,6 +17,8 @@
 
 namespace footprint {
 
+class TelemetryHub;
+
 /** Aggregate results of one simulation run. */
 struct RunStats
 {
@@ -62,11 +64,20 @@ class TrafficManager
   public:
     explicit TrafficManager(const SimConfig& cfg);
 
+    /**
+     * Use an externally owned telemetry hub instead of building one
+     * from the config's telemetry_* keys. Call before run(); pass
+     * nullptr to revert to config-driven telemetry. The hub must
+     * outlive run().
+     */
+    void attachTelemetry(TelemetryHub* hub) { externalHub_ = hub; }
+
     /** Execute the run and return its statistics. */
     RunStats run();
 
   private:
     SimConfig cfg_;
+    TelemetryHub* externalHub_ = nullptr;
 };
 
 /** Convenience wrapper: construct, run, return. */

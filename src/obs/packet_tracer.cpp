@@ -1,0 +1,147 @@
+#include "obs/packet_tracer.hpp"
+
+#include <algorithm>
+
+#include "obs/sink.hpp"
+#include "sim/log.hpp"
+
+namespace footprint {
+
+PacketTracer::PacketTracer(std::ostream& os, std::uint64_t max_packets)
+    : os_(&os), maxPackets_(max_packets)
+{}
+
+PacketTracer::PacketTracer(const std::string& path,
+                           std::uint64_t max_packets)
+    : owned_(std::make_unique<std::ofstream>(path)), os_(owned_.get()),
+      maxPackets_(max_packets)
+{
+    if (!*owned_)
+        fatal("cannot open packet trace file: " + path);
+}
+
+PacketTracer::PacketRecord&
+PacketTracer::record(const Flit& flit)
+{
+    auto [it, inserted] = records_.try_emplace(flit.packetId);
+    if (inserted) {
+        PacketRecord& rec = it->second;
+        rec.src = flit.src;
+        rec.dest = flit.dest;
+        rec.size = flit.packetSize;
+        rec.flowClass = flit.flowClass;
+        rec.create = flit.createTime;
+        rec.inject = flit.injectTime;
+    }
+    return it->second;
+}
+
+void
+PacketTracer::onHopArrive(const Flit& flit, int node,
+                          std::int64_t cycle)
+{
+    PacketRecord& rec = record(flit);
+    if (rec.inject < 0)
+        rec.inject = flit.injectTime;
+    HopRecord hop;
+    hop.node = node;
+    hop.arrive = cycle;
+    rec.hops.push_back(hop);
+}
+
+void
+PacketTracer::onVaGrant(const Flit& flit, int node, std::int64_t cycle)
+{
+    PacketRecord& rec = record(flit);
+    for (auto it = rec.hops.rbegin(); it != rec.hops.rend(); ++it) {
+        if (it->node == node) {
+            it->va = cycle;
+            return;
+        }
+    }
+    // VA observed without a recorded arrival (tracing attached
+    // mid-flight): synthesise the hop.
+    HopRecord hop;
+    hop.node = node;
+    hop.va = cycle;
+    rec.hops.push_back(hop);
+}
+
+void
+PacketTracer::onSwitchTraverse(const Flit& flit, int node,
+                               std::int64_t cycle)
+{
+    PacketRecord& rec = record(flit);
+    for (auto it = rec.hops.rbegin(); it != rec.hops.rend(); ++it) {
+        if (it->node == node) {
+            if (it->st < 0)
+                it->st = cycle;
+            return;
+        }
+    }
+    HopRecord hop;
+    hop.node = node;
+    hop.st = cycle;
+    rec.hops.push_back(hop);
+}
+
+void
+PacketTracer::onEject(const Flit& flit, int node, std::int64_t cycle)
+{
+    (void)node;
+    auto it = records_.find(flit.packetId);
+    if (it == records_.end())
+        return;
+    writeRecord(flit.packetId, it->second, cycle);
+    ++completed_;
+    records_.erase(it);
+}
+
+void
+PacketTracer::writeRecord(std::uint64_t id, const PacketRecord& rec,
+                          std::int64_t eject)
+{
+    std::ostream& os = *os_;
+    os << "{\"packet\":" << id << ",\"src\":" << rec.src
+       << ",\"dest\":" << rec.dest << ",\"size\":" << rec.size
+       << ",\"class\":\""
+       << (rec.flowClass == FlowClass::Hotspot ? "hotspot" : "bg")
+       << "\",\"create\":" << rec.create << ",\"inject\":" << rec.inject
+       << ",\"eject\":" << eject;
+    if (eject >= 0)
+        os << ",\"latency\":" << eject - rec.create;
+    else
+        os << ",\"complete\":false";
+    os << ",\"hops\":[";
+    for (std::size_t i = 0; i < rec.hops.size(); ++i) {
+        const HopRecord& h = rec.hops[i];
+        if (i > 0)
+            os << ',';
+        os << "{\"node\":" << h.node << ",\"arrive\":" << h.arrive
+           << ",\"va\":" << h.va << ",\"st\":" << h.st;
+        if (h.arrive >= 0 && h.va >= 0)
+            os << ",\"va_stall\":" << h.va - h.arrive;
+        if (h.va >= 0 && h.st >= 0)
+            os << ",\"sa_stall\":" << h.st - h.va;
+        os << '}';
+    }
+    os << "]}\n";
+}
+
+void
+PacketTracer::flush()
+{
+    // Emit still-in-flight packets in id order so the output is
+    // deterministic across unordered_map implementations.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(records_.size());
+    for (const auto& [id, rec] : records_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const std::uint64_t id : ids)
+        writeRecord(id, records_.at(id), -1);
+    records_.clear();
+    os_->flush();
+}
+
+} // namespace footprint

@@ -1,0 +1,113 @@
+#include "obs/sampler.hpp"
+
+#include "sim/log.hpp"
+
+namespace footprint {
+
+std::size_t
+Sampler::addChannel(const std::string& name, ChannelKind kind,
+                    std::function<double()> probe)
+{
+    FP_ASSERT(!headerWritten_,
+              "telemetry channel registered after sampling started: "
+                  << name);
+    FP_ASSERT(find(name) == nullptr,
+              "duplicate telemetry channel: " << name);
+    Channel ch;
+    ch.name = name;
+    ch.kind = kind;
+    ch.probe = std::move(probe);
+    channels_.push_back(std::move(ch));
+    return channels_.size() - 1;
+}
+
+void
+Sampler::addSink(std::unique_ptr<TimeSeriesSink> sink)
+{
+    FP_ASSERT(!headerWritten_,
+              "telemetry sink attached after sampling started");
+    sinks_.push_back(std::move(sink));
+}
+
+void
+Sampler::sample(std::int64_t cycle, const std::string& phase)
+{
+    if (!headerWritten_) {
+        const std::vector<std::string> names = channelNames();
+        for (auto& sink : sinks_)
+            sink->writeHeader(names);
+        headerWritten_ = true;
+    }
+
+    const std::int64_t elapsed =
+        lastSampleCycle_ >= 0 ? cycle - lastSampleCycle_ : 0;
+    row_.clear();
+    for (Channel& ch : channels_) {
+        const double raw = ch.probe();
+        double value = raw;
+        if (ch.kind != ChannelKind::Gauge) {
+            // Counter/Rate: emit the increase since the last sample;
+            // a shrinking reading means the underlying counter was
+            // reset, so the raw reading is the whole delta.
+            const double delta = (ch.hasPrev && raw >= ch.prevRaw)
+                ? raw - ch.prevRaw
+                : raw;
+            if (ch.kind == ChannelKind::Rate) {
+                value = elapsed > 0
+                    ? delta / static_cast<double>(elapsed)
+                    : 0.0;
+            } else {
+                value = delta;
+            }
+            ch.prevRaw = raw;
+            ch.hasPrev = true;
+        }
+        row_.push_back(value);
+        if (keepInMemory_)
+            ch.retained.push_back(Sample{cycle, value});
+    }
+    for (auto& sink : sinks_)
+        sink->writeRow(cycle, phase, row_);
+    ++samplesTaken_;
+    lastSampleCycle_ = cycle;
+}
+
+void
+Sampler::flush()
+{
+    for (auto& sink : sinks_)
+        sink->flush();
+}
+
+std::vector<std::string>
+Sampler::channelNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(channels_.size());
+    for (const Channel& ch : channels_)
+        names.push_back(ch.name);
+    return names;
+}
+
+const std::vector<Sample>&
+Sampler::series(const std::string& name) const
+{
+    static const std::vector<Sample> kEmpty;
+    for (const Channel& ch : channels_) {
+        if (ch.name == name)
+            return ch.retained;
+    }
+    return kEmpty;
+}
+
+Sampler::Channel*
+Sampler::find(const std::string& name)
+{
+    for (Channel& ch : channels_) {
+        if (ch.name == name)
+            return &ch;
+    }
+    return nullptr;
+}
+
+} // namespace footprint

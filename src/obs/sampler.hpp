@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Periodic probe sampler: named, typed telemetry channels polled every
+ * N cycles, emitted to structured sinks and optionally retained in
+ * memory for programmatic consumption (benches, tests).
+ */
+
+#ifndef FOOTPRINT_OBS_SAMPLER_HPP
+#define FOOTPRINT_OBS_SAMPLER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace footprint {
+
+/**
+ * How a channel's probe readings are turned into sampled values.
+ *
+ * - Gauge: the probe's instantaneous value is emitted as-is
+ *   (occupancy, queue depth).
+ * - Counter: the emitted value is the increase since the previous
+ *   sample; a probe reading below the previous one is treated as a
+ *   counter reset and emitted as the raw reading (the measurement
+ *   window reset of TrafficManager does this once at warmup end).
+ * - Rate: the Counter delta divided by the cycles elapsed since the
+ *   previous sample (utilisation in events/cycle); the first sample
+ *   of a Rate channel is 0.
+ */
+enum class ChannelKind { Gauge, Counter, Rate };
+
+/** One retained sample of a channel (in-memory mode). */
+struct Sample
+{
+    std::int64_t cycle;
+    double value;
+};
+
+/**
+ * The probe registry and sampling engine behind TelemetryHub.
+ *
+ * Channels are registered up front (registration after the first
+ * sample is rejected); sample() polls every probe, applies the
+ * channel-kind transform, and forwards one row to every sink.
+ */
+class Sampler
+{
+  public:
+    /**
+     * Register a channel. @return its index.
+     * @param name column/series name (must be unique).
+     * @param kind value transform, see ChannelKind.
+     * @param probe called at each sample; must stay valid for the
+     *        sampler's lifetime.
+     */
+    std::size_t addChannel(const std::string& name, ChannelKind kind,
+                           std::function<double()> probe);
+
+    /** Attach a sink; rows are written to every attached sink. */
+    void addSink(std::unique_ptr<TimeSeriesSink> sink);
+
+    /** Retain all samples in memory (series() access). */
+    void setKeepInMemory(bool keep) { keepInMemory_ = keep; }
+
+    /** Poll every probe and emit one row tagged with @p phase. */
+    void sample(std::int64_t cycle, const std::string& phase);
+
+    void flush();
+
+    std::size_t numChannels() const { return channels_.size(); }
+    std::uint64_t samplesTaken() const { return samplesTaken_; }
+    std::int64_t lastSampleCycle() const { return lastSampleCycle_; }
+
+    std::vector<std::string> channelNames() const;
+
+    /** Retained series of @p name; empty if unknown or not retained. */
+    const std::vector<Sample>& series(const std::string& name) const;
+
+  private:
+    struct Channel
+    {
+        std::string name;
+        ChannelKind kind;
+        std::function<double()> probe;
+        double prevRaw = 0.0;
+        bool hasPrev = false;
+        std::vector<Sample> retained;
+    };
+
+    Channel* find(const std::string& name);
+
+    std::vector<Channel> channels_;
+    std::vector<std::unique_ptr<TimeSeriesSink>> sinks_;
+    std::vector<double> row_;  ///< scratch, avoids per-sample alloc
+    bool keepInMemory_ = false;
+    bool headerWritten_ = false;
+    std::uint64_t samplesTaken_ = 0;
+    std::int64_t lastSampleCycle_ = -1;
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_OBS_SAMPLER_HPP

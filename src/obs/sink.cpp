@@ -1,0 +1,102 @@
+#include "obs/sink.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/log.hpp"
+
+namespace footprint {
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatTelemetryValue(double v)
+{
+    if (std::isfinite(v) && v == std::floor(v)
+        && std::abs(v) < 1e15) {
+        return std::to_string(static_cast<long long>(v));
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+StreamSink::StreamSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), os_(owned_.get())
+{
+    if (!*owned_)
+        fatal("cannot open telemetry output file: " + path);
+}
+
+void
+CsvSink::writeHeader(const std::vector<std::string>& columns)
+{
+    columns_ = columns;
+    os() << "cycle,phase";
+    for (const std::string& c : columns)
+        os() << ',' << c;
+    os() << '\n';
+}
+
+void
+CsvSink::writeRow(std::int64_t cycle, const std::string& phase,
+                  const std::vector<double>& values)
+{
+    FP_ASSERT(values.size() == columns_.size(),
+              "telemetry row width mismatch");
+    os() << cycle << ',' << phase;
+    for (const double v : values)
+        os() << ',' << formatTelemetryValue(v);
+    os() << '\n';
+}
+
+void
+JsonlSink::writeHeader(const std::vector<std::string>& columns)
+{
+    escaped_.clear();
+    escaped_.reserve(columns.size());
+    for (const std::string& c : columns)
+        escaped_.push_back(jsonEscape(c));
+}
+
+void
+JsonlSink::writeRow(std::int64_t cycle, const std::string& phase,
+                    const std::vector<double>& values)
+{
+    FP_ASSERT(values.size() == escaped_.size(),
+              "telemetry row width mismatch");
+    os() << "{\"cycle\":" << cycle << ",\"phase\":\""
+         << jsonEscape(phase) << "\",\"metrics\":{";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0)
+            os() << ',';
+        os() << '"' << escaped_[i]
+             << "\":" << formatTelemetryValue(values[i]);
+    }
+    os() << "}}\n";
+}
+
+} // namespace footprint

@@ -1,0 +1,114 @@
+#include "obs/telemetry.hpp"
+
+#include <limits>
+
+#include "sim/config.hpp"
+#include "sim/log.hpp"
+
+namespace footprint {
+
+TelemetryHub::TelemetryHub(const TelemetryConfig& cfg) : cfg_(cfg)
+{
+    if (cfg_.sampleInterval < 1) {
+        fatal("sample_interval must be >= 1, got "
+              + std::to_string(cfg_.sampleInterval));
+    }
+    enabled_ = cfg_.anyEnabled();
+    sampling_ = !cfg_.timeSeriesPath.empty() || cfg_.keepInMemory;
+
+    if (!cfg_.timeSeriesPath.empty()) {
+        if (cfg_.format == "csv") {
+            sampler_.addSink(
+                std::make_unique<CsvSink>(cfg_.timeSeriesPath));
+        } else if (cfg_.format == "jsonl") {
+            sampler_.addSink(
+                std::make_unique<JsonlSink>(cfg_.timeSeriesPath));
+        } else {
+            fatal("telemetry_format must be csv or jsonl, got: "
+                  + cfg_.format);
+        }
+    }
+    sampler_.setKeepInMemory(cfg_.keepInMemory);
+
+    if (cfg_.tracePackets > 0) {
+        const std::string path =
+            cfg_.tracePath.empty() ? "trace.jsonl" : cfg_.tracePath;
+        tracer_ =
+            std::make_unique<PacketTracer>(path, cfg_.tracePackets);
+    }
+}
+
+TelemetryConfig
+TelemetryHub::configFromSim(const SimConfig& cfg)
+{
+    TelemetryConfig tc;
+    if (cfg.contains("telemetry_out"))
+        tc.timeSeriesPath = cfg.getStr("telemetry_out");
+    if (cfg.contains("telemetry_format"))
+        tc.format = cfg.getStr("telemetry_format");
+    if (cfg.contains("sample_interval"))
+        tc.sampleInterval = cfg.getInt("sample_interval");
+    if (cfg.contains("telemetry_per_router"))
+        tc.perRouter = cfg.getBool("telemetry_per_router");
+    if (cfg.contains("trace_out"))
+        tc.tracePath = cfg.getStr("trace_out");
+    if (cfg.contains("trace_packets")) {
+        const std::int64_t n = cfg.getInt("trace_packets");
+        if (n < 0)
+            fatal("trace_packets must be non-negative");
+        tc.tracePackets = static_cast<std::uint64_t>(n);
+    }
+    return tc;
+}
+
+void
+TelemetryHub::beginPhase(const std::string& name, std::int64_t cycle)
+{
+    if (!enabled_)
+        return;
+    phase_ = name;
+    marks_.push_back(PhaseMark{name, cycle});
+}
+
+void
+TelemetryHub::finish(std::int64_t cycle)
+{
+    if (!enabled_)
+        return;
+    if (sampling_ && sampler_.lastSampleCycle() != cycle)
+        sampler_.sample(cycle, phase_);
+    if (tracer_)
+        tracer_->flush();
+    sampler_.flush();
+}
+
+double
+TelemetryHub::meanInPhase(const std::string& name,
+                          const std::string& phase) const
+{
+    // Determine the cycle range(s) the phase covered.
+    std::int64_t begin = -1;
+    std::int64_t end = -1;
+    for (std::size_t i = 0; i < marks_.size(); ++i) {
+        if (marks_[i].name != phase)
+            continue;
+        begin = marks_[i].cycle;
+        end = i + 1 < marks_.size()
+            ? marks_[i + 1].cycle
+            : std::numeric_limits<std::int64_t>::max();
+        break;
+    }
+    if (begin < 0)
+        return 0.0;
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const Sample& s : sampler_.series(name)) {
+        if (s.cycle >= begin && s.cycle < end) {
+            sum += s.value;
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+} // namespace footprint

@@ -38,6 +38,7 @@ class Pipe
     send(const T& item, std::int64_t cycle)
     {
         inFlight_.push_back(Entry{cycle + latency_, item});
+        ++sentCount_;
     }
 
     /**
@@ -57,6 +58,9 @@ class Pipe
     bool empty() const { return inFlight_.empty(); }
     std::size_t inFlightCount() const { return inFlight_.size(); }
 
+    /** Items ever sent (telemetry link-utilisation counter). */
+    std::uint64_t sentCount() const { return sentCount_; }
+
   private:
     struct Entry
     {
@@ -66,6 +70,7 @@ class Pipe
 
     int latency_;
     std::deque<Entry> inFlight_;
+    std::uint64_t sentCount_ = 0;
 };
 
 using FlitChannel = Pipe<Flit>;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/packet_tracer.hpp"
 #include "sim/log.hpp"
 
 namespace footprint {
@@ -74,6 +75,8 @@ Router::receivePhase(std::int64_t cycle)
             FP_ASSERT(static_cast<int>(ivc.occupancy())
                           < params_.vcBufSize,
                       "input VC buffer overflow (credit protocol bug)");
+            if (tracer_ && f->head && tracer_->traced(f->packetId))
+                tracer_->onHopArrive(*f, node_, cycle);
             ivc.buffer.push_back(*f);
         }
     }
@@ -248,6 +251,8 @@ Router::runVcAllocation()
                 .vcs[static_cast<std::size_t>(g.outVc)]
                 .allocate(ivc.front().dest);
             ++counters_.vcAllocSuccess;
+            if (tracer_ && tracer_->traced(ivc.front().packetId))
+                tracer_->onVaGrant(ivc.front(), node_, cycle_);
         } else {
             // Blocking event: VC allocation failed this cycle. Sample
             // the purity of blocking (footprint share of busy VCs) on
@@ -352,6 +357,8 @@ Router::moveFlit(int in_port, int in_vc)
     }
     out.fifo.push_back(f);
     ++counters_.flitsTraversed;
+    if (tracer_ && f.head && tracer_->traced(f.packetId))
+        tracer_->onSwitchTraverse(f, node_, cycle_);
 
     // The input-buffer slot frees: return a credit upstream.
     if (in.creditOut)
@@ -514,11 +521,44 @@ Router::inputHoldsDest(int port, int vc, int dest) const
 int
 Router::totalBufferedFlits() const
 {
+    return inputBufferedFlits() + outputFifoFlits();
+}
+
+int
+Router::inputBufferedFlits() const
+{
     int total = 0;
     for (const auto& in : inputs_) {
         for (const auto& vc : in.vcs)
             total += static_cast<int>(vc.occupancy());
     }
+    return total;
+}
+
+int
+Router::totalOutputCredits() const
+{
+    int total = 0;
+    for (const auto& out : outputs_) {
+        for (const auto& vc : out.vcs)
+            total += vc.credits();
+    }
+    return total;
+}
+
+int
+Router::occupiedOutVcs() const
+{
+    int total = 0;
+    for (int port = 0; port < kNumPorts; ++port)
+        total += popcount(computeOccupiedVcMask(port));
+    return total;
+}
+
+int
+Router::outputFifoFlits() const
+{
+    int total = 0;
     for (const auto& out : outputs_)
         total += static_cast<int>(out.fifo.size());
     return total;

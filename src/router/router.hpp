@@ -23,6 +23,8 @@
 
 namespace footprint {
 
+class PacketTracer;
+
 /**
  * One-cycle-delayed per-router status (idle-VC counts per output
  * port), modelling the side-band wires adaptive algorithms like DBAR
@@ -143,6 +145,26 @@ class Router : public RouterView
     /** Total flits buffered in the router (for drain checks). */
     int totalBufferedFlits() const;
 
+    // Telemetry probes (sampled off the critical path).
+
+    /** Flits buffered in input VCs only (the "VC occupancy" probe). */
+    int inputBufferedFlits() const;
+
+    /** Sum of available credits over all output VCs. */
+    int totalOutputCredits() const;
+
+    /** Occupied output VCs across all ports (live footprint lanes). */
+    int occupiedOutVcs() const;
+
+    /** Flits waiting in output FIFOs. */
+    int outputFifoFlits() const;
+
+    /**
+     * Attach (or detach with nullptr) a packet-lifecycle tracer. The
+     * per-flit hooks cost one branch while @p tracer is nullptr.
+     */
+    void setTracer(PacketTracer* tracer) { tracer_ = tracer; }
+
   private:
     struct InputPort
     {
@@ -213,6 +235,7 @@ class Router : public RouterView
     VcMask computeZeroCreditVcMask(int port) const;
 
     Counters counters_;
+    PacketTracer* tracer_ = nullptr;
 };
 
 } // namespace footprint

@@ -196,6 +196,13 @@ defaultConfig()
     cfg.setInt("measure_cycles", 10000);
     cfg.setInt("drain_cycles", 50000);
     cfg.setInt("seed", 1);
+    // Telemetry / observability (see DESIGN.md "Observability").
+    cfg.set("telemetry_out", "");       // empty = no time series
+    cfg.set("telemetry_format", "csv"); // or "jsonl"
+    cfg.setInt("sample_interval", 100); // cycles between samples
+    cfg.setBool("telemetry_per_router", true);
+    cfg.set("trace_out", "");           // default "trace.jsonl"
+    cfg.setInt("trace_packets", 0);     // trace packet ids [1, N]
     return cfg;
 }
 

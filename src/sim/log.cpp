@@ -7,6 +7,13 @@ namespace footprint {
 
 namespace {
 bool quietFlag = false;
+std::ostream* logSink = nullptr;
+
+std::ostream&
+statusStream()
+{
+    return logSink ? *logSink : std::cerr;
+}
 } // namespace
 
 void
@@ -28,20 +35,26 @@ void
 warn(const std::string& msg)
 {
     if (!quietFlag)
-        std::cerr << "warn: " << msg << std::endl;
+        statusStream() << "warn: " << msg << std::endl;
 }
 
 void
 inform(const std::string& msg)
 {
     if (!quietFlag)
-        std::cerr << "info: " << msg << std::endl;
+        statusStream() << "info: " << msg << std::endl;
 }
 
 void
 setQuiet(bool quiet)
 {
     quietFlag = quiet;
+}
+
+void
+setLogSink(std::ostream* sink)
+{
+    logSink = sink;
 }
 
 } // namespace footprint

@@ -8,6 +8,7 @@
 #ifndef FOOTPRINT_SIM_LOG_HPP
 #define FOOTPRINT_SIM_LOG_HPP
 
+#include <ostream>
 #include <sstream>
 #include <string>
 
@@ -40,6 +41,15 @@ void inform(const std::string& msg);
 
 /** Globally silence warn()/inform() output (used by benches/tests). */
 void setQuiet(bool quiet);
+
+/**
+ * Redirect warn()/inform() to @p sink instead of std::cerr; pass
+ * nullptr to restore std::cerr. Lets tests and telemetry runs capture
+ * status output instead of only silencing it. panic()/fatal() always
+ * write to std::cerr. The caller keeps @p sink alive until it is
+ * replaced or reset.
+ */
+void setLogSink(std::ostream* sink);
 
 } // namespace footprint
 

@@ -105,14 +105,28 @@ Histogram::percentile(double fraction) const
 {
     if (count_ == 0)
         return 0.0;
-    const auto target = static_cast<std::uint64_t>(
-        fraction * static_cast<double>(count_));
-    std::uint64_t seen = 0;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const double target = fraction * static_cast<double>(count_);
+
+    // Walk the cumulative distribution; interpolate linearly inside
+    // the bin the target falls into. fraction 0.0 thus returns the
+    // lower edge of the first non-empty bin and fraction 1.0 the
+    // upper edge of the last non-empty bin.
+    double seen = 0.0;
     for (std::size_t i = 0; i < bins_.size(); ++i) {
-        seen += bins_[i];
-        if (seen >= target)
-            return (static_cast<double>(i) + 1.0) * binWidth_;
+        if (bins_[i] == 0)
+            continue;
+        const double next = seen + static_cast<double>(bins_[i]);
+        if (target <= next) {
+            const double lo = static_cast<double>(i) * binWidth_;
+            const double in_bin =
+                (target - seen) / static_cast<double>(bins_[i]);
+            return lo + binWidth_ * in_bin;
+        }
+        seen = next;
     }
+    // The target falls among overflow samples (clamped past the last
+    // bin), whose values are unknown: report the overflow threshold.
     return static_cast<double>(bins_.size()) * binWidth_;
 }
 

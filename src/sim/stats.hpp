@@ -66,7 +66,13 @@ class Histogram
     std::uint64_t binCount(std::size_t bin) const { return bins_.at(bin); }
     std::uint64_t overflowCount() const { return overflow_; }
 
-    /** Value below which @p fraction of samples fall (approximate). */
+    /**
+     * Value below which @p fraction of samples fall, interpolated
+     * linearly within the containing bin. @p fraction is clamped to
+     * [0, 1]; an empty histogram reports 0 and a fraction landing in
+     * the overflow bin reports the overflow threshold
+     * (binWidth * numBins), the histogram's upper resolution limit.
+     */
     double percentile(double fraction) const;
 
     /** Render as "lo-hi: count" lines for reports. */

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "sim/log.hpp"
 
 namespace footprint {
@@ -50,6 +52,46 @@ TEST(Log, WarnAndInformRespectQuiet)
     EXPECT_EQ(err.find("hidden"), std::string::npos);
     EXPECT_NE(err.find("warn: visible warning"), std::string::npos);
     EXPECT_NE(err.find("info: visible info"), std::string::npos);
+}
+
+TEST(Log, SetLogSinkCapturesStatusMessages)
+{
+    std::ostringstream captured;
+    setQuiet(false);
+    setLogSink(&captured);
+    warn("redirected warning");
+    inform("redirected info");
+    setLogSink(nullptr);
+    EXPECT_NE(captured.str().find("warn: redirected warning"),
+              std::string::npos);
+    EXPECT_NE(captured.str().find("info: redirected info"),
+              std::string::npos);
+}
+
+TEST(Log, SetLogSinkNullRestoresStderr)
+{
+    std::ostringstream captured;
+    setQuiet(false);
+    setLogSink(&captured);
+    setLogSink(nullptr);
+    testing::internal::CaptureStderr();
+    warn("back on stderr");
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("warn: back on stderr"), std::string::npos);
+    EXPECT_EQ(captured.str().find("back on stderr"),
+              std::string::npos);
+}
+
+TEST(Log, SinkStillRespectsQuiet)
+{
+    std::ostringstream captured;
+    setLogSink(&captured);
+    setQuiet(true);
+    warn("muted");
+    inform("muted too");
+    setQuiet(false);
+    setLogSink(nullptr);
+    EXPECT_TRUE(captured.str().empty());
 }
 
 } // namespace

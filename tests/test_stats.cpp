@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "sim/stats.hpp"
 
 namespace footprint {
@@ -93,6 +95,54 @@ TEST(StatAccumulator, MergeWithEmpty)
     a.merge(b);
     EXPECT_EQ(a.count(), 1u);
     EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 2.0);
+}
+
+TEST(StatAccumulator, MergeEmptyIntoNonEmpty)
+{
+    StatAccumulator empty;
+    StatAccumulator b;
+    b.add(-1.0);
+    b.add(5.0);
+    empty.merge(b);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(empty.min(), -1.0);
+    EXPECT_DOUBLE_EQ(empty.max(), 5.0);
+}
+
+TEST(StatAccumulator, MergeBothEmptyStaysEmpty)
+{
+    StatAccumulator a;
+    StatAccumulator b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(StatAccumulator, MergeMatchesSingleAccumulator)
+{
+    // Merging two halves must reproduce sum/min/max/variance of one
+    // accumulator fed every sample.
+    const std::vector<double> samples{2.0, 4.0, 4.0, 4.0,
+                                      5.0, 5.0, 7.0, 9.0};
+    StatAccumulator whole;
+    StatAccumulator lo;
+    StatAccumulator hi;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        whole.add(samples[i]);
+        (i < samples.size() / 2 ? lo : hi).add(samples[i]);
+    }
+    lo.merge(hi);
+    EXPECT_EQ(lo.count(), whole.count());
+    EXPECT_DOUBLE_EQ(lo.sum(), whole.sum());
+    EXPECT_DOUBLE_EQ(lo.min(), whole.min());
+    EXPECT_DOUBLE_EQ(lo.max(), whole.max());
+    EXPECT_NEAR(lo.variance(), whole.variance(), 1e-12);
+    EXPECT_NEAR(lo.variance(), 4.0, 1e-12);
 }
 
 TEST(Histogram, BinsSamplesCorrectly)
@@ -140,6 +190,67 @@ TEST(Histogram, PercentileMedian)
         h.add(static_cast<double>(i) + 0.5);
     EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
     EXPECT_NEAR(h.percentile(0.99), 99.0, 1.5);
+}
+
+TEST(Histogram, PercentileEmptyIsZero)
+{
+    Histogram h(1.0, 4);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(Histogram, PercentileExtremesHitBinEdges)
+{
+    Histogram h(10.0, 10);
+    h.add(25.0);  // bin 2: [20, 30)
+    h.add(27.0);
+    h.add(44.0);  // bin 4: [40, 50)
+    // fraction 0 -> lower edge of the first non-empty bin.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 20.0);
+    // fraction 1 -> upper edge of the last non-empty bin.
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 50.0);
+    // Out-of-range fractions clamp.
+    EXPECT_DOUBLE_EQ(h.percentile(-0.5), 20.0);
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), 50.0);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBin)
+{
+    Histogram h(10.0, 10);
+    for (int i = 0; i < 4; ++i)
+        h.add(15.0);  // all four samples in bin 1: [10, 20)
+    // Quartile targets interpolate across the single occupied bin
+    // instead of reporting its upper edge for every fraction.
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), 12.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.75), 17.5);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 20.0);
+}
+
+TEST(Histogram, PercentileAllOverflowReportsThreshold)
+{
+    Histogram h(1.0, 4);
+    h.add(100.0);
+    h.add(200.0);
+    // Overflow sample values are unknown; every fraction reports the
+    // histogram's upper resolution limit.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 4.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 4.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 4.0);
+}
+
+TEST(Histogram, PercentileMixedOverflow)
+{
+    Histogram h(1.0, 4);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(9.0);  // overflow
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    // Fractions inside the binned range interpolate normally...
+    EXPECT_NEAR(h.percentile(0.5), 1.5, 1e-12);
+    // ...and fractions past the binned samples hit the threshold.
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 4.0);
 }
 
 TEST(Histogram, ToStringListsNonEmptyBins)

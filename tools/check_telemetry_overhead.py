@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Gate the overhead of compiled-in-but-disabled telemetry.
+
+Runs the micro_router google-benchmark binary and compares the
+whole-network-cycle benchmark without any telemetry attached
+(``BM_NetworkCycle/30``) against the same loop with a disabled
+TelemetryHub attached (``BM_NetworkCycleTelemetryIdle``). The two run
+in the same process moments apart, so the comparison is stable across
+machines, unlike absolute wall-clock numbers. The gate fails when the
+idle-telemetry variant is more than ``--threshold`` (default 2%)
+slower.
+
+A recorded baseline (``bench/micro_baseline.json``, written with
+``--record``) provides a second, advisory comparison of absolute
+timings against the checked-in reference machine; it warns by default
+and only fails under ``--enforce-baseline``.
+
+Usage:
+  tools/check_telemetry_overhead.py --bench build/bench/micro_router
+  tools/check_telemetry_overhead.py --bench ... --record  # new baseline
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BARE = "BM_NetworkCycle/30"
+IDLE = "BM_NetworkCycleTelemetryIdle"
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench", "micro_baseline.json")
+
+
+def run_benchmarks(bench, repetitions):
+    """Run the two gated benchmarks, return {name: min_real_time_ns}."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as f:
+        out_path = f.name
+    try:
+        cmd = [
+            bench,
+            "--benchmark_filter=^(%s|%s)$" % (BARE.replace("/", "/"),
+                                              IDLE),
+            "--benchmark_repetitions=%d" % repetitions,
+            "--benchmark_report_aggregates_only=false",
+            "--benchmark_out_format=json",
+            "--benchmark_out=%s" % out_path,
+        ]
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        with open(out_path) as f:
+            report = json.load(f)
+    finally:
+        os.unlink(out_path)
+
+    times = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["run_name"] if "run_name" in b else b["name"]
+        # min across repetitions: least-noise estimator for a gate.
+        t = float(b["real_time"])
+        times[name] = min(times.get(name, t), t)
+    return report, times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", required=True,
+                    help="path to the micro_router binary")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="max idle-telemetry overhead in percent")
+    ap.add_argument("--repetitions", type=int, default=5,
+                    help="benchmark repetitions (min is compared)")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="recorded-baseline JSON path")
+    ap.add_argument("--record", action="store_true",
+                    help="rewrite the baseline file from this run")
+    ap.add_argument("--enforce-baseline", action="store_true",
+                    help="fail (not warn) on recorded-baseline drift")
+    ap.add_argument("--baseline-tolerance", type=float, default=25.0,
+                    help="allowed drift vs recorded baseline, percent")
+    args = ap.parse_args()
+
+    report, times = run_benchmarks(args.bench, args.repetitions)
+    missing = [n for n in (BARE, IDLE) if n not in times]
+    if missing:
+        print("error: benchmarks missing from report: %s" % missing)
+        return 2
+
+    bare, idle = times[BARE], times[IDLE]
+    overhead = 100.0 * (idle - bare) / bare
+    print("%-32s %12.0f ns" % (BARE, bare))
+    print("%-32s %12.0f ns" % (IDLE, idle))
+    print("idle-telemetry overhead: %+.2f%% (threshold %.1f%%)"
+          % (overhead, args.threshold))
+
+    if args.record:
+        payload = {
+            "context": report.get("context", {}),
+            "times_ns": {BARE: bare, IDLE: idle},
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("recorded baseline -> %s" % args.baseline)
+
+    status = 0
+    if overhead > args.threshold:
+        print("FAIL: disabled telemetry costs more than %.1f%%"
+              % args.threshold)
+        status = 1
+
+    # Advisory absolute comparison against the recorded reference run.
+    if not args.record and os.path.exists(args.baseline):
+        with open(args.baseline) as f:
+            recorded = json.load(f).get("times_ns", {})
+        for name in (BARE, IDLE):
+            if name not in recorded:
+                continue
+            drift = 100.0 * (times[name] - recorded[name]) \
+                / recorded[name]
+            print("baseline drift %-28s %+.1f%%" % (name, drift))
+            if drift > args.baseline_tolerance:
+                msg = ("recorded-baseline regression on %s "
+                       "(%.1f%% > %.1f%%)"
+                       % (name, drift, args.baseline_tolerance))
+                if args.enforce_baseline:
+                    print("FAIL: " + msg)
+                    status = 1
+                else:
+                    print("warn: " + msg
+                          + " (advisory; different machines differ)")
+
+    if status == 0:
+        print("OK")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
