@@ -15,6 +15,11 @@
  *   --sample-interval N     cycles between samples (default 100)
  *   --trace-packets N       JSONL lifecycle trace of packets 1..N
  *   --trace-out FILE        trace path (default trace.jsonl)
+ *
+ * Observability flags (take no value; see DESIGN.md):
+ *   --audit                 periodic invariant audits + watchdog
+ *   --dump-on-abort         forensic state dump on abort/violation
+ *   --chrome-trace          chrome://tracing timeline (trace.json)
  */
 
 #include <cstdio>
@@ -39,6 +44,14 @@ flagToKey(const std::string& flag)
     return key;
 }
 
+/** Boolean switches that take no value argument. */
+bool
+isBareFlag(const std::string& key)
+{
+    return key == "audit" || key == "dump_on_abort"
+        || key == "chrome_trace";
+}
+
 } // namespace
 
 int
@@ -57,6 +70,10 @@ main(int argc, char** argv)
             cfg.loadFile(arg.substr(7));
         } else if (arg.rfind("--", 0) == 0) {
             const std::string key = flagToKey(arg);
+            if (isBareFlag(key)) {
+                cfg.set(key, "true");
+                continue;
+            }
             if (key.empty() || i + 1 >= argc)
                 fatal("flag " + arg + " needs a value");
             cfg.set(key, argv[++i]);
@@ -65,11 +82,25 @@ main(int argc, char** argv)
                   + arg);
         }
     }
+    cfg.warnUnknownKeys();
 
     std::printf("== footprint-noc simulator ==\n%s\n",
                 cfg.toString().c_str());
 
-    const RunStats stats = runExperiment(cfg);
+    RunStats stats;
+    try {
+        stats = runExperiment(cfg);
+    } catch (const InvariantError& e) {
+        std::fprintf(stderr,
+                     "simulate: aborted on violated invariant: %s "
+                     "(%s:%d)\n",
+                     e.what(), e.file(), e.line());
+        if (cfg.getBool("dump_on_abort")) {
+            std::fprintf(stderr, "simulate: forensic state dump: %s\n",
+                         cfg.getStr("dump_path").c_str());
+        }
+        return 2;
+    }
 
     std::printf("--- results ---\n");
     std::printf("cycles run               : %lld\n",
@@ -126,5 +157,30 @@ main(int argc, char** argv)
                     static_cast<long long>(
                         cfg.getInt("trace_packets")));
     }
-    return 0;
+    if (cfg.getBool("chrome_trace")) {
+        const std::string chrome_out = cfg.getStr("chrome_trace_out");
+        std::printf("chrome trace timeline    : %s (load in "
+                    "chrome://tracing or ui.perfetto.dev)\n",
+                    chrome_out.empty() ? "trace.json"
+                                       : chrome_out.c_str());
+    }
+    if (cfg.getBool("audit")) {
+        std::printf("invariant audit          : %llu violations, "
+                    "%llu watchdog events\n",
+                    static_cast<unsigned long long>(
+                        stats.auditViolations),
+                    static_cast<unsigned long long>(
+                        stats.watchdogEvents));
+    }
+    if (!stats.drained) {
+        std::printf("stall classification     : %s\n",
+                    stats.stallClass.c_str());
+    }
+    if (!stats.stateDumpPath.empty()) {
+        std::printf("forensic state dump      : %s\n",
+                    stats.stateDumpPath.c_str());
+    }
+    // A run that violated its own invariants must not exit 0, even
+    // though it completed enough to print statistics.
+    return stats.auditViolations > 0 ? 3 : 0;
 }

@@ -93,6 +93,33 @@ class Endpoint
      */
     void setTracer(PacketTracer* tracer) { tracer_ = tracer; }
 
+    // Forensic accessors (auditor / state dumps; off the hot path).
+
+    /** Source-side credits toward router local-input VC @p vc. */
+    int injectVcCredits(int vc) const
+    {
+        return injectVcs_[static_cast<std::size_t>(vc)].credits();
+    }
+
+    /** True if injection VC @p vc is allocated to a packet. */
+    bool injectVcBusy(int vc) const
+    {
+        return injectVcs_[static_cast<std::size_t>(vc)].busy();
+    }
+
+    /** Flits buffered in sink VC @p vc. */
+    int sinkVcOccupancy(int vc) const
+    {
+        return static_cast<int>(
+            sinkVcs_[static_cast<std::size_t>(vc)].size());
+    }
+
+    /** True while a packet is mid-injection. */
+    bool injecting() const { return injecting_; }
+
+    /** VC the current packet injects on; -1 when none. */
+    int currentInjectVc() const { return currentVc_; }
+
   private:
     bool startNextPacket();
 

@@ -98,6 +98,8 @@ Network::Network(const SimConfig& cfg)
             router(node).connectOutput(portOf(d), f_fwd, c_fwd);
             router(nbr).connectInput(portOf(rd), f_fwd, c_fwd);
             nodeOutChannels_[idx(node)].push_back(f_fwd);
+            links_.push_back({LinkRecord::Kind::RouterToRouter, node,
+                              portOf(d), nbr, portOf(rd), f_fwd, c_fwd});
 
             // nbr --flits--> node and its credit return path.
             FlitChannel* f_rev = newFlitChannel(link_latency);
@@ -105,6 +107,9 @@ Network::Network(const SimConfig& cfg)
             router(nbr).connectOutput(portOf(rd), f_rev, c_rev);
             router(node).connectInput(portOf(d), f_rev, c_rev);
             nodeOutChannels_[idx(nbr)].push_back(f_rev);
+            links_.push_back({LinkRecord::Kind::RouterToRouter, nbr,
+                              portOf(rd), node, portOf(d), f_rev,
+                              c_rev});
 
             router(node).setNeighbor(portOf(d), nbr);
             router(nbr).setNeighbor(portOf(rd), node);
@@ -122,6 +127,10 @@ Network::Network(const SimConfig& cfg)
         router(node).connectOutput(portOf(Dir::Local), ej, ej_credit);
         endpoint(node).connect(inj, inj_credit, ej, ej_credit);
         nodeOutChannels_[idx(node)].push_back(ej);
+        links_.push_back({LinkRecord::Kind::EndpointToRouter, node, -1,
+                          node, portOf(Dir::Local), inj, inj_credit});
+        links_.push_back({LinkRecord::Kind::RouterToEndpoint, node,
+                          portOf(Dir::Local), node, -1, ej, ej_credit});
     }
 }
 
@@ -180,6 +189,24 @@ Network::resetCounters()
 {
     for (auto& r : routers_)
         r->resetCounters();
+}
+
+std::uint64_t
+Network::totalFlitsInjected() const
+{
+    std::uint64_t total = 0;
+    for (const auto& e : endpoints_)
+        total += e->flitsInjected();
+    return total;
+}
+
+std::uint64_t
+Network::totalFlitsEjected() const
+{
+    std::uint64_t total = 0;
+    for (const auto& e : endpoints_)
+        total += e->flitsEjected();
+    return total;
 }
 
 std::uint64_t

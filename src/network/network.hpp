@@ -94,6 +94,37 @@ class Network
     /** Flits ever sent on any flit channel (links + endpoint links). */
     std::uint64_t totalFlitsSent() const;
 
+    /**
+     * One directed link: the forward flit channel and its backward
+     * credit channel. Port fields are meaningful only on router ends
+     * (-1 on endpoint ends). Built once at construction for the
+     * auditor's per-link credit-conservation walk and state dumps.
+     */
+    struct LinkRecord
+    {
+        enum class Kind {
+            RouterToRouter,
+            RouterToEndpoint,  ///< ejection link into the sink
+            EndpointToRouter,  ///< injection link from the source
+        };
+
+        Kind kind = Kind::RouterToRouter;
+        int srcNode = -1;
+        int srcPort = -1;  ///< output port at src
+        int dstNode = -1;
+        int dstPort = -1;  ///< input port at dst
+        const FlitChannel* flit = nullptr;
+        const CreditChannel* credit = nullptr;
+    };
+
+    const std::vector<LinkRecord>& links() const { return links_; }
+
+    /** Flits ever injected across all endpoints. */
+    std::uint64_t totalFlitsInjected() const;
+
+    /** Flits ever ejected (drained from sinks) across all endpoints. */
+    std::uint64_t totalFlitsEjected() const;
+
   private:
     static std::size_t idx(int node)
     {
@@ -113,6 +144,7 @@ class Network
     std::vector<std::unique_ptr<CreditChannel>> creditChannels_;
     /** Outgoing flit channels per node (router outputs incl. local). */
     std::vector<std::vector<const FlitChannel*>> nodeOutChannels_;
+    std::vector<LinkRecord> links_;
 };
 
 } // namespace footprint

@@ -1,10 +1,17 @@
 #include "network/traffic_manager.hpp"
 
 #include <algorithm>
+#include <csignal>
+#include <memory>
+#include <optional>
 #include <set>
 
 #include "network/network.hpp"
+#include "obs/auditor.hpp"
+#include "obs/run_metadata.hpp"
+#include "obs/state_dump.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/watchdog.hpp"
 #include "sim/log.hpp"
 #include "sim/rng.hpp"
 #include "traffic/injection.hpp"
@@ -25,6 +32,38 @@ constexpr std::int64_t kDrainStallLimit = 2500;
  * saturated immediately instead of burning the whole drain budget.
  */
 constexpr double kDrainWorthwhileFraction = 0.5;
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void
+sigintFlag(int)
+{
+    g_interrupted = 1;
+}
+
+/**
+ * Installs a SIGINT handler that only raises a flag, so a dump-on-abort
+ * run can serialize its forensic state before exiting; restores the
+ * previous handler on scope exit (including the exception path).
+ */
+class ScopedSigintFlag
+{
+  public:
+    ScopedSigintFlag()
+    {
+        g_interrupted = 0;
+        prev_ = std::signal(SIGINT, sigintFlag);
+    }
+    ~ScopedSigintFlag() { std::signal(SIGINT, prev_); }
+
+    ScopedSigintFlag(const ScopedSigintFlag&) = delete;
+    ScopedSigintFlag& operator=(const ScopedSigintFlag&) = delete;
+
+    static bool fired() { return g_interrupted != 0; }
+
+  private:
+    void (*prev_)(int) = nullptr;
+};
 
 } // namespace
 
@@ -52,6 +91,33 @@ TrafficManager::run()
     }
     if (hub)
         net.attachTelemetry(*hub);
+
+    const RunMetadata meta = RunMetadata::fromConfig(cfg_);
+    if (owned_hub)
+        owned_hub->setRunMetadata(meta);
+
+    // Observability supervisors: the invariant auditor and the
+    // deadlock/livelock watchdog, both gated on the "audit" key and
+    // both a single null check per cycle when disabled.
+    std::unique_ptr<InvariantAuditor> auditor;
+    std::unique_ptr<Watchdog> watchdog;
+    if (cfg_.getBool("audit")) {
+        InvariantAuditor::Params ap;
+        ap.interval = cfg_.getInt("audit_interval");
+        auditor = std::make_unique<InvariantAuditor>(net, ap);
+
+        Watchdog::Params wp;
+        wp.interval = cfg_.getInt("watchdog_interval");
+        wp.maxHops = static_cast<int>(cfg_.getInt("watchdog_max_hops"));
+        wp.maxAge = cfg_.getInt("watchdog_max_age");
+        watchdog = std::make_unique<Watchdog>(
+            net, hub ? hub->tracer() : nullptr, wp);
+    }
+    const bool dump_on_abort = cfg_.getBool("dump_on_abort");
+    const std::string dump_path = cfg_.getStr("dump_path");
+    std::optional<ScopedSigintFlag> sigint_guard;
+    if (dump_on_abort)
+        sigint_guard.emplace();
 
     const std::string mode = cfg_.getStr("traffic");
     const auto warmup = cfg_.getInt("warmup_cycles");
@@ -124,8 +190,11 @@ TrafficManager::run()
     std::int64_t cycle = 0;
     const std::int64_t hard_limit = warmup + measure + drain_limit;
 
+    const char* abort_reason = nullptr;
+
     if (hub)
         hub->beginPhase("warmup", 0);
+    try {
     for (; cycle < hard_limit; ++cycle) {
         const bool measuring = cycle >= warmup
             && cycle < warmup + measure;
@@ -190,6 +259,23 @@ TrafficManager::run()
         net.step(cycle);
         if (hub)
             hub->tick(cycle);
+        if (auditor)
+            auditor->tick(cycle);
+        if (watchdog) {
+            watchdog->tick(cycle);
+            if (watchdog->deadlockDetected()) {
+                // A cyclic wait-for dependency never resolves; abort
+                // now so the forensic dump captures the cycle intact.
+                abort_reason = "deadlock";
+                ++cycle;
+                break;
+            }
+        }
+        if (sigint_guard && ScopedSigintFlag::fired()) {
+            abort_reason = "sigint";
+            ++cycle;
+            break;
+        }
 
         // Collect completions.
         for (int node = 0; node < n; ++node) {
@@ -245,12 +331,76 @@ TrafficManager::run()
             break;
         }
     }
+    } catch (const InvariantError& e) {
+        // A violated runtime invariant: close trace artifacts, write
+        // the forensic dump, and let the error propagate.
+        if (hub)
+            hub->finish(cycle);
+        if (dump_on_abort) {
+            StateDumpContext ctx;
+            ctx.cycle = cycle;
+            ctx.reason = std::string("panic: ") + e.what();
+            ctx.meta = &meta;
+            if (auditor)
+                ctx.violations = &auditor->violations();
+            if (watchdog)
+                ctx.events = &watchdog->events();
+            dumpStateToFile(dump_path, net, ctx);
+        }
+        throw;
+    }
 
     if (hub)
         hub->finish(cycle);
 
     stats.cyclesRun = cycle;
     stats.saturated = !stats.drained;
+    if (auditor)
+        stats.auditViolations = auditor->violationCount();
+    if (watchdog)
+        stats.watchdogEvents =
+            static_cast<std::uint64_t>(watchdog->events().size());
+
+    // Classify any non-drained exit, even when the watchdog was off:
+    // the one-shot wait-for-graph pass distinguishes a true deadlock
+    // from endpoint tree saturation at negligible cost.
+    Watchdog::Report stall;
+    if (!stats.drained) {
+        if (watchdog) {
+            stall = watchdog->classify(cycle);
+        } else {
+            Watchdog::Params wp;
+            wp.interval = 0;
+            stall = Watchdog(net, nullptr, wp).classify(cycle);
+        }
+        stats.stallClass = Watchdog::stallClassName(stall.stallClass);
+    }
+
+    // Forensic dump: invariant violation, watchdog detection, SIGINT,
+    // or any abort short of a clean drain.
+    if (dump_on_abort) {
+        std::string reason;
+        if (abort_reason)
+            reason = abort_reason;
+        else if (auditor && !auditor->clean())
+            reason = "invariant_violation";
+        else if (!stats.drained)
+            reason = cycle >= hard_limit ? "hard_limit" : "saturation";
+        if (!reason.empty()) {
+            StateDumpContext ctx;
+            ctx.cycle = cycle;
+            ctx.reason = reason;
+            ctx.meta = &meta;
+            if (auditor)
+                ctx.violations = &auditor->violations();
+            if (!stats.drained)
+                ctx.stall = &stall;
+            if (watchdog)
+                ctx.events = &watchdog->events();
+            if (dumpStateToFile(dump_path, net, ctx))
+                stats.stateDumpPath = dump_path;
+        }
+    }
     if (measure > 0 && flits_at_measure_end >= flits_at_measure_start) {
         stats.acceptedFlitsPerNodeCycle =
             static_cast<double>(flits_at_measure_end

@@ -40,6 +40,21 @@ struct RunStats
     bool drained = false;    ///< every measured packet was ejected
     bool saturated = false;  ///< run aborted / did not drain
 
+    /**
+     * Watchdog classification of a non-drained exit: "deadlock",
+     * "tree_saturation", or "none" (drained / network empty).
+     */
+    std::string stallClass = "none";
+
+    /** Invariant violations found by the auditor (0 when audit off). */
+    std::uint64_t auditViolations = 0;
+
+    /** Watchdog detections (progress stalls + livelock suspects). */
+    std::uint64_t watchdogEvents = 0;
+
+    /** Path of the forensic state dump, when one was written. */
+    std::string stateDumpPath;
+
     /** Router event counters over the measurement window. */
     Router::Counters counters;
 

@@ -1,8 +1,11 @@
 #include "obs/packet_tracer.hpp"
 
 #include <algorithm>
+#include <sstream>
 
+#include "obs/run_metadata.hpp"
 #include "obs/sink.hpp"
+#include "obs/trace_event.hpp"
 #include "sim/log.hpp"
 
 namespace footprint {
@@ -18,6 +21,19 @@ PacketTracer::PacketTracer(const std::string& path,
 {
     if (!*owned_)
         fatal("cannot open packet trace file: " + path);
+}
+
+PacketTracer::PacketTracer(std::uint64_t max_packets)
+    : os_(nullptr), maxPackets_(max_packets)
+{}
+
+void
+PacketTracer::setMeta(const RunMetadata& meta)
+{
+    if (os_) {
+        *os_ << "{\"schema\":\"footprint.packet_trace/1\",\"meta\":"
+             << meta.toJson() << "}\n";
+    }
 }
 
 PacketTracer::PacketRecord&
@@ -101,6 +117,44 @@ void
 PacketTracer::writeRecord(std::uint64_t id, const PacketRecord& rec,
                           std::int64_t eject)
 {
+    if (chrome_) {
+        // One track (tid) per packet under the "packets" process; the
+        // whole lifetime as an enclosing slice, one nested slice per
+        // hop. A hop's slice spans arrival to switch traversal.
+        const auto tid = static_cast<std::int64_t>(id);
+        std::ostringstream name;
+        name << "pkt " << id << " n" << rec.src << "->n" << rec.dest;
+        chrome_->threadName(1, tid, name.str());
+        if (rec.inject >= 0 && eject >= rec.inject) {
+            std::ostringstream args;
+            args << "\"src\":" << rec.src << ",\"dest\":" << rec.dest
+                 << ",\"size\":" << rec.size << ",\"hops\":"
+                 << rec.hops.size();
+            chrome_->completeEvent("pkt", 1, tid, rec.inject,
+                                   eject - rec.inject, args.str());
+        }
+        for (const HopRecord& h : rec.hops) {
+            const std::int64_t start = h.arrive >= 0 ? h.arrive : h.st;
+            if (start < 0)
+                continue;
+            const std::int64_t end = h.st >= start ? h.st + 1
+                                                   : start + 1;
+            std::ostringstream args;
+            if (h.arrive >= 0 && h.va >= 0)
+                args << "\"va_stall\":" << h.va - h.arrive;
+            if (h.va >= 0 && h.st >= 0) {
+                if (args.tellp() > 0)
+                    args << ',';
+                args << "\"sa_stall\":" << h.st - h.va;
+            }
+            chrome_->completeEvent("n" + std::to_string(h.node), 1,
+                                   tid, start, end - start,
+                                   args.str());
+        }
+    }
+
+    if (!os_)
+        return;
     std::ostream& os = *os_;
     os << "{\"packet\":" << id << ",\"src\":" << rec.src
        << ",\"dest\":" << rec.dest << ",\"size\":" << rec.size
@@ -141,7 +195,26 @@ PacketTracer::flush()
     for (const std::uint64_t id : ids)
         writeRecord(id, records_.at(id), -1);
     records_.clear();
-    os_->flush();
+    if (os_)
+        os_->flush();
+}
+
+std::string
+PacketTracer::describe(std::uint64_t packet_id) const
+{
+    const auto it = records_.find(packet_id);
+    if (it == records_.end())
+        return "";
+    const PacketRecord& rec = it->second;
+    std::ostringstream os;
+    os << "injected@" << rec.inject;
+    for (const HopRecord& h : rec.hops) {
+        os << " -> n" << h.node << '@' << h.arrive;
+        if (h.va >= 0 || h.st >= 0) {
+            os << "(va=" << h.va << ",st=" << h.st << ')';
+        }
+    }
+    return os.str();
 }
 
 } // namespace footprint

@@ -25,10 +25,13 @@
 
 namespace footprint {
 
+class ChromeTraceWriter;
+struct RunMetadata;
+
 /**
  * Records the lifecycle of the first N packets (by packet id, which
  * traffic sources assign sequentially from 1) and streams completed
- * records to a JSONL sink.
+ * records to a JSONL sink, a Chrome trace-event timeline, or both.
  *
  * Record schema (one JSON object per line):
  *   {"packet":id,"src":s,"dest":d,"size":flits,"class":"bg|hotspot",
@@ -46,6 +49,24 @@ class PacketTracer
 
     /** Trace into a file; fatal() if @p path cannot be opened. */
     PacketTracer(const std::string& path, std::uint64_t max_packets);
+
+    /**
+     * Sink-less tracer: records lifecycles without writing JSONL
+     * (chrome-trace-only runs and watchdog history lookups).
+     */
+    explicit PacketTracer(std::uint64_t max_packets);
+
+    /**
+     * Also re-emit completed lifecycles onto @p writer (borrowed;
+     * nullptr detaches). One slice per hop on a per-packet track.
+     */
+    void setChromeTrace(ChromeTraceWriter* writer)
+    {
+        chrome_ = writer;
+    }
+
+    /** Stamp run metadata as the first JSONL record. */
+    void setMeta(const RunMetadata& meta);
 
     /** Cheap hot-path filter: is @p packet_id being traced? */
     bool
@@ -69,6 +90,13 @@ class PacketTracer
 
     /** Write out records of packets that never completed. */
     void flush();
+
+    /**
+     * Hop-by-hop history of an in-flight traced packet, one
+     * "node@arrive(va=..,st=..)" entry per hop — the watchdog's
+     * livelock forensics. Empty when the packet is unknown.
+     */
+    std::string describe(std::uint64_t packet_id) const;
 
     std::uint64_t packetsCompleted() const { return completed_; }
     std::uint64_t packetsInFlight() const { return records_.size(); }
@@ -98,10 +126,11 @@ class PacketTracer
                      std::int64_t eject);
 
     std::unique_ptr<std::ofstream> owned_;
-    std::ostream* os_;
+    std::ostream* os_;  ///< nullptr for sink-less tracers
     std::uint64_t maxPackets_;
     std::uint64_t completed_ = 0;
     std::unordered_map<std::uint64_t, PacketRecord> records_;
+    ChromeTraceWriter* chrome_ = nullptr;
 };
 
 } // namespace footprint

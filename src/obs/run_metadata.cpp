@@ -1,0 +1,62 @@
+#include "obs/run_metadata.hpp"
+
+#include <cstdio>
+
+#include "obs/sink.hpp"
+#include "sim/config.hpp"
+
+#ifndef FP_GIT_DESCRIBE
+#define FP_GIT_DESCRIBE "unknown"
+#endif
+
+namespace footprint {
+
+std::string
+fnv1aHex(const std::string& s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+RunMetadata
+RunMetadata::fromConfig(const SimConfig& cfg)
+{
+    RunMetadata meta;
+    if (cfg.contains("seed"))
+        meta.seed = static_cast<std::uint64_t>(cfg.getInt("seed"));
+    meta.configHash = fnv1aHex(cfg.toString());
+    meta.gitDescribe = buildVersion();
+    return meta;
+}
+
+std::string
+RunMetadata::buildVersion()
+{
+    return FP_GIT_DESCRIBE;
+}
+
+std::string
+RunMetadata::toJson() const
+{
+    return "{\"seed\":" + std::to_string(seed) + ",\"config_hash\":\""
+        + jsonEscape(configHash) + "\",\"git\":\""
+        + jsonEscape(gitDescribe) + "\",\"start_cycle\":"
+        + std::to_string(startCycle) + "}";
+}
+
+std::string
+RunMetadata::toKeyValue() const
+{
+    return "seed=" + std::to_string(seed) + " config_hash="
+        + configHash + " git=" + gitDescribe + " start_cycle="
+        + std::to_string(startCycle);
+}
+
+} // namespace footprint

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Run metadata stamped onto every exported artifact (CSV/JSONL time
+ * series, packet traces, chrome trace timelines, state dumps) so each
+ * file is self-describing: which code, which configuration, and which
+ * seed produced it.
+ */
+
+#ifndef FOOTPRINT_OBS_RUN_METADATA_HPP
+#define FOOTPRINT_OBS_RUN_METADATA_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace footprint {
+
+class SimConfig;
+
+/**
+ * Identity of one simulation run. configHash is a 64-bit FNV-1a over
+ * the full rendered configuration, so two artifacts with equal hashes
+ * came from identical parameter sets; gitDescribe is injected at build
+ * time (FP_GIT_DESCRIBE) and pins the code version.
+ */
+struct RunMetadata
+{
+    std::uint64_t seed = 0;
+    std::string configHash;
+    std::string gitDescribe;
+    std::int64_t startCycle = 0;
+
+    /** Derive metadata from @p cfg (seed + hash of all keys). */
+    static RunMetadata fromConfig(const SimConfig& cfg);
+
+    /** The build's git describe string ("unknown" outside git). */
+    static std::string buildVersion();
+
+    /** {"seed":S,"config_hash":"H","git":"G","start_cycle":C}. */
+    std::string toJson() const;
+
+    /** "seed=S config_hash=H git=G start_cycle=C" (CSV comments). */
+    std::string toKeyValue() const;
+};
+
+/** FNV-1a 64-bit hash of @p s, rendered as 16 hex digits. */
+std::string fnv1aHex(const std::string& s);
+
+} // namespace footprint
+
+#endif // FOOTPRINT_OBS_RUN_METADATA_HPP

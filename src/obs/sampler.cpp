@@ -30,6 +30,15 @@ Sampler::addSink(std::unique_ptr<TimeSeriesSink> sink)
 }
 
 void
+Sampler::writeMeta(const RunMetadata& meta)
+{
+    FP_ASSERT(!headerWritten_,
+              "run metadata stamped after sampling started");
+    for (auto& sink : sinks_)
+        sink->writeMeta(meta);
+}
+
+void
 Sampler::sample(std::int64_t cycle, const std::string& phase)
 {
     if (!headerWritten_) {

@@ -63,6 +63,9 @@ class Sampler
     /** Attach a sink; rows are written to every attached sink. */
     void addSink(std::unique_ptr<TimeSeriesSink> sink);
 
+    /** Stamp run metadata onto every sink (before the first sample). */
+    void writeMeta(const RunMetadata& meta);
+
     /** Retain all samples in memory (series() access). */
     void setKeepInMemory(bool keep) { keepInMemory_ = keep; }
 

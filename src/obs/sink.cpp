@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/run_metadata.hpp"
 #include "sim/log.hpp"
 
 namespace footprint {
@@ -49,6 +50,19 @@ StreamSink::StreamSink(const std::string& path)
 {
     if (!*owned_)
         fatal("cannot open telemetry output file: " + path);
+}
+
+void
+CsvSink::writeMeta(const RunMetadata& meta)
+{
+    os() << "# footprint.telemetry/1 " << meta.toKeyValue() << '\n';
+}
+
+void
+JsonlSink::writeMeta(const RunMetadata& meta)
+{
+    os() << "{\"schema\":\"footprint.telemetry/1\",\"meta\":"
+         << meta.toJson() << "}\n";
 }
 
 void

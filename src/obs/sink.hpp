@@ -20,6 +20,8 @@
 
 namespace footprint {
 
+struct RunMetadata;
+
 /** Escape @p s for embedding inside a JSON string literal. */
 std::string jsonEscape(const std::string& s);
 
@@ -37,6 +39,12 @@ class TimeSeriesSink
 {
   public:
     virtual ~TimeSeriesSink() = default;
+
+    /**
+     * Stamp run metadata onto the artifact, before the header. Sinks
+     * that have no self-describing representation may ignore it.
+     */
+    virtual void writeMeta(const RunMetadata& meta) { (void)meta; }
 
     /** Called once, before any row, with the channel names. */
     virtual void writeHeader(const std::vector<std::string>& columns) = 0;
@@ -79,6 +87,9 @@ class CsvSink : public StreamSink
   public:
     using StreamSink::StreamSink;
 
+    /** "# footprint.telemetry/1 seed=... config_hash=..." comment. */
+    void writeMeta(const RunMetadata& meta) override;
+
     void writeHeader(const std::vector<std::string>& columns) override;
     void writeRow(std::int64_t cycle, const std::string& phase,
                   const std::vector<double>& values) override;
@@ -95,6 +106,9 @@ class JsonlSink : public StreamSink
 {
   public:
     using StreamSink::StreamSink;
+
+    /** {"meta":{...},"schema":"footprint.telemetry/1"} first record. */
+    void writeMeta(const RunMetadata& meta) override;
 
     void writeHeader(const std::vector<std::string>& columns) override;
     void writeRow(std::int64_t cycle, const std::string& phase,

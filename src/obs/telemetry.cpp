@@ -30,12 +30,37 @@ TelemetryHub::TelemetryHub(const TelemetryConfig& cfg) : cfg_(cfg)
     }
     sampler_.setKeepInMemory(cfg_.keepInMemory);
 
-    if (cfg_.tracePackets > 0) {
-        const std::string path =
-            cfg_.tracePath.empty() ? "trace.jsonl" : cfg_.tracePath;
-        tracer_ =
-            std::make_unique<PacketTracer>(path, cfg_.tracePackets);
+    if (!cfg_.chromeTracePath.empty()) {
+        chrome_ =
+            std::make_unique<ChromeTraceWriter>(cfg_.chromeTracePath);
+        chrome_->processName(1, "packets");
+        chrome_->processName(2, "telemetry");
+        if (sampling_) {
+            sampler_.addSink(
+                std::make_unique<ChromeCounterSink>(chrome_.get()));
+        }
     }
+
+    // The chrome timeline is fed from packet lifecycles, so it implies
+    // a tracer even when no JSONL trace was requested; a generous
+    // default packet budget keeps the timeline representative.
+    std::uint64_t trace_packets = cfg_.tracePackets;
+    if (chrome_ && trace_packets == 0)
+        trace_packets = 20000;
+
+    if (trace_packets > 0) {
+        if (!cfg_.tracePath.empty() || cfg_.tracePackets > 0) {
+            const std::string path = cfg_.tracePath.empty()
+                ? "trace.jsonl"
+                : cfg_.tracePath;
+            tracer_ =
+                std::make_unique<PacketTracer>(path, trace_packets);
+        } else {
+            tracer_ = std::make_unique<PacketTracer>(trace_packets);
+        }
+    }
+    if (tracer_ && chrome_)
+        tracer_->setChromeTrace(chrome_.get());
 }
 
 TelemetryConfig
@@ -58,7 +83,25 @@ TelemetryHub::configFromSim(const SimConfig& cfg)
             fatal("trace_packets must be non-negative");
         tc.tracePackets = static_cast<std::uint64_t>(n);
     }
+    if (cfg.contains("chrome_trace") && cfg.getBool("chrome_trace")) {
+        tc.chromeTracePath = cfg.contains("chrome_trace_out")
+                && !cfg.getStr("chrome_trace_out").empty()
+            ? cfg.getStr("chrome_trace_out")
+            : "trace.json";
+    }
     return tc;
+}
+
+void
+TelemetryHub::setRunMetadata(const RunMetadata& meta)
+{
+    if (!enabled_)
+        return;
+    sampler_.writeMeta(meta);
+    if (tracer_)
+        tracer_->setMeta(meta);
+    if (chrome_)
+        chrome_->setMeta(meta);
 }
 
 void
@@ -68,6 +111,8 @@ TelemetryHub::beginPhase(const std::string& name, std::int64_t cycle)
         return;
     phase_ = name;
     marks_.push_back(PhaseMark{name, cycle});
+    if (chrome_)
+        chrome_->instantEvent("phase: " + name, cycle);
 }
 
 void
@@ -80,6 +125,8 @@ TelemetryHub::finish(std::int64_t cycle)
     if (tracer_)
         tracer_->flush();
     sampler_.flush();
+    if (chrome_)
+        chrome_->close();
 }
 
 double

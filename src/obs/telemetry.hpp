@@ -22,6 +22,7 @@
 
 #include "obs/packet_tracer.hpp"
 #include "obs/sampler.hpp"
+#include "obs/trace_event.hpp"
 
 namespace footprint {
 
@@ -44,12 +45,15 @@ struct TelemetryConfig
     std::uint64_t tracePackets = 0;
     /** Retain samples in memory for series() access. */
     bool keepInMemory = false;
+    /** Chrome trace-event timeline path; empty disables. */
+    std::string chromeTracePath;
 
     bool
     anyEnabled() const
     {
         return !timeSeriesPath.empty() || !tracePath.empty()
-            || tracePackets > 0 || keepInMemory;
+            || tracePackets > 0 || keepInMemory
+            || !chromeTracePath.empty();
     }
 };
 
@@ -117,11 +121,20 @@ class TelemetryHub
             sampler_.sample(cycle, phase_);
     }
 
-    /** Final sample (if due), tracer + sink flush. */
+    /** Final sample (if due), tracer + sink flush, trace close. */
     void finish(std::int64_t cycle);
+
+    /**
+     * Stamp run metadata onto every artifact this hub writes (sinks,
+     * packet trace, chrome trace). Call before the first sample.
+     */
+    void setRunMetadata(const RunMetadata& meta);
 
     /** The packet tracer, or nullptr when tracing is disabled. */
     PacketTracer* tracer() { return tracer_.get(); }
+
+    /** The chrome trace writer, or nullptr when disabled. */
+    ChromeTraceWriter* chromeTrace() { return chrome_.get(); }
 
     Sampler& sampler() { return sampler_; }
     const Sampler& sampler() const { return sampler_; }
@@ -147,6 +160,7 @@ class TelemetryHub
     TelemetryConfig cfg_;
     Sampler sampler_;
     std::unique_ptr<PacketTracer> tracer_;
+    std::unique_ptr<ChromeTraceWriter> chrome_;
     std::string phase_ = "init";
     std::vector<PhaseMark> marks_;
     bool enabled_ = false;

@@ -1,0 +1,130 @@
+#include "obs/trace_event.hpp"
+
+#include "sim/log.hpp"
+
+namespace footprint {
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& os) : os_(&os)
+{
+    *os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+ChromeTraceWriter::ChromeTraceWriter(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), os_(owned_.get())
+{
+    if (!*owned_)
+        fatal("cannot open chrome trace file: " + path);
+    *os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+void
+ChromeTraceWriter::setMeta(const RunMetadata& meta)
+{
+    meta_ = meta;
+    hasMeta_ = true;
+}
+
+void
+ChromeTraceWriter::beginEvent()
+{
+    FP_ASSERT(!closed_, "event written to a closed trace");
+    if (!first_)
+        *os_ << ',';
+    *os_ << '\n';
+    first_ = false;
+    ++events_;
+}
+
+void
+ChromeTraceWriter::completeEvent(const std::string& name,
+                                 std::int64_t pid, std::int64_t tid,
+                                 std::int64_t ts, std::int64_t dur,
+                                 const std::string& args)
+{
+    beginEvent();
+    *os_ << "{\"name\":\"" << jsonEscape(name)
+         << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+         << ",\"ts\":" << ts << ",\"dur\":" << dur;
+    if (!args.empty())
+        *os_ << ",\"args\":{" << args << '}';
+    *os_ << '}';
+}
+
+void
+ChromeTraceWriter::instantEvent(const std::string& name,
+                                std::int64_t ts)
+{
+    beginEvent();
+    *os_ << "{\"name\":\"" << jsonEscape(name)
+         << "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":"
+         << ts << '}';
+}
+
+void
+ChromeTraceWriter::counterEvent(const std::string& name,
+                                std::int64_t pid, std::int64_t ts,
+                                double value)
+{
+    beginEvent();
+    *os_ << "{\"name\":\"" << jsonEscape(name)
+         << "\",\"ph\":\"C\",\"pid\":" << pid << ",\"ts\":" << ts
+         << ",\"args\":{\"value\":" << formatTelemetryValue(value)
+         << "}}";
+}
+
+void
+ChromeTraceWriter::processName(std::int64_t pid,
+                               const std::string& name)
+{
+    beginEvent();
+    *os_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"name\":\"" << jsonEscape(name)
+         << "\"}}";
+}
+
+void
+ChromeTraceWriter::threadName(std::int64_t pid, std::int64_t tid,
+                              const std::string& name)
+{
+    beginEvent();
+    *os_ << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+         << jsonEscape(name) << "\"}}";
+}
+
+void
+ChromeTraceWriter::close()
+{
+    if (closed_ || !os_)
+        return;
+    closed_ = true;
+    *os_ << "\n]";
+    if (hasMeta_)
+        *os_ << ",\"metadata\":" << meta_.toJson();
+    *os_ << "}\n";
+    os_->flush();
+}
+
+void
+ChromeCounterSink::writeHeader(const std::vector<std::string>& columns)
+{
+    columns_ = columns;
+    forwarded_.clear();
+    forwarded_.reserve(columns.size());
+    for (const std::string& c : columns)
+        forwarded_.push_back(c.rfind("net.", 0) == 0);
+}
+
+void
+ChromeCounterSink::writeRow(std::int64_t cycle,
+                            const std::string& phase,
+                            const std::vector<double>& values)
+{
+    (void)phase;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i < forwarded_.size() && forwarded_[i])
+            writer_->counterEvent(columns_[i], 2, cycle, values[i]);
+    }
+}
+
+} // namespace footprint

@@ -61,6 +61,18 @@ class Pipe
     /** Items ever sent (telemetry link-utilisation counter). */
     std::uint64_t sentCount() const { return sentCount_; }
 
+    /**
+     * Visit every in-flight payload, oldest first (audit/forensic
+     * inspection only — never on the per-cycle hot path).
+     */
+    template <typename Fn>
+    void
+    forEachInFlight(Fn&& fn) const
+    {
+        for (const Entry& e : inFlight_)
+            fn(e.payload);
+    }
+
   private:
     struct Entry
     {

@@ -564,4 +564,52 @@ Router::outputFifoFlits() const
     return total;
 }
 
+int
+Router::outVcCredits(int port, int vc) const
+{
+    return outputs_[static_cast<std::size_t>(port)]
+        .vcs[static_cast<std::size_t>(vc)]
+        .credits();
+}
+
+bool
+Router::outVcBusy(int port, int vc) const
+{
+    return outputs_[static_cast<std::size_t>(port)]
+        .vcs[static_cast<std::size_t>(vc)]
+        .busy();
+}
+
+const InputVc&
+Router::inputVc(int port, int vc) const
+{
+    return inputs_[static_cast<std::size_t>(port)]
+        .vcs[static_cast<std::size_t>(vc)];
+}
+
+const std::deque<Flit>&
+Router::outputFifo(int port) const
+{
+    return outputs_[static_cast<std::size_t>(port)].fifo;
+}
+
+int
+Router::outputFifoFlitsForVc(int port, int vc) const
+{
+    int total = 0;
+    for (const Flit& f : outputs_[static_cast<std::size_t>(port)].fifo) {
+        if (f.vc == vc)
+            ++total;
+    }
+    return total;
+}
+
+void
+Router::debugLeakCredit(int port, int vc)
+{
+    outputs_[static_cast<std::size_t>(port)]
+        .vcs[static_cast<std::size_t>(vc)]
+        .consumeCredit();
+}
+
 } // namespace footprint

@@ -165,6 +165,37 @@ class Router : public RouterView
      */
     void setTracer(PacketTracer* tracer) { tracer_ = tracer; }
 
+    // Forensic accessors (auditor / watchdog / state dumps; never on
+    // the per-cycle hot path).
+
+    /** Available credits of output VC (port, vc). */
+    int outVcCredits(int port, int vc) const;
+
+    /** True if output VC (port, vc) is allocated to a packet. */
+    bool outVcBusy(int port, int vc) const;
+
+    /** Full input-VC state (stage, granted route, buffered flits). */
+    const InputVc& inputVc(int port, int vc) const;
+
+    /** Flits waiting in the output FIFO of @p port, head first. */
+    const std::deque<Flit>& outputFifo(int port) const;
+
+    /** Flits of output FIFO @p port destined for downstream VC @p vc. */
+    int outputFifoFlitsForVc(int port, int vc) const;
+
+    /** Neighbor node wired to @p port; -1 when unconnected. */
+    int neighborAt(int port) const
+    {
+        return neighborNode_[static_cast<std::size_t>(port)];
+    }
+
+    /**
+     * Fault-injection hook: silently consume one credit of output VC
+     * (port, vc) without moving a flit, breaking credit conservation.
+     * Tests use it to prove the auditor catches credit leaks.
+     */
+    void debugLeakCredit(int port, int vc);
+
   private:
     struct InputPort
     {

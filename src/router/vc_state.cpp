@@ -12,6 +12,17 @@ popcount(VcMask m)
     return std::popcount(m);
 }
 
+const char*
+inputVcStateName(InputVc::State state)
+{
+    switch (state) {
+    case InputVc::State::Idle: return "idle";
+    case InputVc::State::VcAlloc: return "va";
+    case InputVc::State::Active: return "active";
+    }
+    return "?";
+}
+
 void
 OutVcState::allocate(int dest)
 {

@@ -64,6 +64,9 @@ class InputVc
     }
 };
 
+/** Human-readable name of an input-VC state ("idle" / "va" / "active"). */
+const char* inputVcStateName(InputVc::State state);
+
 /**
  * Upstream-side tracking of one downstream input VC: credit count, busy
  * flag (allocated to an in-flight packet), and the destination of the

@@ -1,5 +1,7 @@
 #include "sim/config.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -7,6 +9,73 @@
 #include "sim/log.hpp"
 
 namespace footprint {
+
+namespace {
+
+/**
+ * Every key some subsystem reads: simulator core, observability,
+ * benches, and examples. set()/loadFile() accept anything (forward
+ * compatibility), but warnUnknownKeys() flags keys outside this list.
+ */
+constexpr std::array kKnownKeys = {
+    // Topology and router microarchitecture.
+    "mesh_width", "mesh_height", "num_vcs", "vc_buf_size",
+    "internal_speedup", "link_latency", "output_fifo_size",
+    "ejection_rate",
+    // Routing.
+    "routing", "fp_vc_cap", "fp_variant", "fp_converge_threshold",
+    "congestion_threshold", "dbar_use_remote",
+    // Traffic.
+    "traffic", "injection_rate", "background_rate", "packet_size",
+    "trace_file", "trace_length", "app", "app2",
+    // Simulation phases.
+    "warmup_cycles", "measure_cycles", "drain_cycles", "seed",
+    // Telemetry.
+    "telemetry_out", "telemetry_format", "sample_interval",
+    "telemetry_per_router", "trace_out", "trace_packets",
+    // Auditing / watchdog / forensics.
+    "audit", "audit_interval", "watchdog_interval",
+    "watchdog_max_hops", "watchdog_max_age", "dump_on_abort",
+    "dump_path", "chrome_trace", "chrome_trace_out",
+};
+
+/** Levenshtein distance, for did-you-mean suggestions. */
+std::size_t
+editDistance(const std::string& a, const std::string& b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t prev = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t cur = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               prev + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            prev = cur;
+        }
+    }
+    return row[b.size()];
+}
+
+/** Closest known key within edit distance 3, or "". */
+std::string
+closestKnownKey(const std::string& key)
+{
+    std::string best;
+    std::size_t best_dist = 4;
+    for (const char* known : kKnownKeys) {
+        const std::size_t d = editDistance(key, known);
+        if (d < best_dist) {
+            best_dist = d;
+            best = known;
+        }
+    }
+    return best;
+}
+
+} // namespace
 
 SimConfig::SimConfig() = default;
 
@@ -160,6 +229,40 @@ SimConfig::keys() const
     return out;
 }
 
+bool
+SimConfig::isKnownKey(const std::string& key)
+{
+    return std::find(kKnownKeys.begin(), kKnownKeys.end(), key)
+        != kKnownKeys.end();
+}
+
+std::vector<std::string>
+SimConfig::unknownKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto& kv : values_) {
+        if (!isKnownKey(kv.first))
+            out.push_back(kv.first);
+    }
+    return out;
+}
+
+std::size_t
+SimConfig::warnUnknownKeys() const
+{
+    const std::vector<std::string> unknown = unknownKeys();
+    for (const std::string& key : unknown) {
+        std::string msg = "unrecognized config key '" + key
+            + "' (no subsystem reads it";
+        const std::string hint = closestKnownKey(key);
+        if (!hint.empty() && hint != key)
+            msg += "; did you mean '" + hint + "'?";
+        msg += ")";
+        warn(msg);
+    }
+    return unknown.size();
+}
+
 std::string
 SimConfig::toString() const
 {
@@ -203,6 +306,16 @@ defaultConfig()
     cfg.setBool("telemetry_per_router", true);
     cfg.set("trace_out", "");           // default "trace.jsonl"
     cfg.setInt("trace_packets", 0);     // trace packet ids [1, N]
+    // Auditing / watchdog / forensics (DESIGN.md "Runtime auditing").
+    cfg.setBool("audit", false);        // invariant auditor + watchdog
+    cfg.setInt("audit_interval", 1000); // cycles between audits
+    cfg.setInt("watchdog_interval", 5000); // stall/livelock checks
+    cfg.setInt("watchdog_max_hops", 0); // 0 = auto (2 * (W + H))
+    cfg.setInt("watchdog_max_age", 0);  // 0 = age check off
+    cfg.setBool("dump_on_abort", false); // forensic dump on abort
+    cfg.set("dump_path", "state_dump.json");
+    cfg.setBool("chrome_trace", false); // trace-event timeline export
+    cfg.set("chrome_trace_out", "");    // default "trace.json"
     return cfg;
 }
 

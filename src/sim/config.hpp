@@ -62,6 +62,25 @@ class SimConfig
     /** All keys currently present, sorted (for dumping). */
     std::vector<std::string> keys() const;
 
+    /**
+     * Whether @p key is recognized by any subsystem (the curated list
+     * covers every key the simulator, benches, and examples read).
+     */
+    static bool isKnownKey(const std::string& key);
+
+    /** Present keys no subsystem recognizes, sorted. */
+    std::vector<std::string> unknownKeys() const;
+
+    /**
+     * warn() (through the log sink) about every unrecognized key, with
+     * the closest known key suggested when one is plausibly a typo.
+     * A typo'd "telemetry_*" / "audit_*" key silently disabling a
+     * subsystem is exactly the failure mode this catches.
+     *
+     * @return the number of unknown keys warned about.
+     */
+    std::size_t warnUnknownKeys() const;
+
     /** Render the whole config as "key = value" lines. */
     std::string toString() const;
 

@@ -21,7 +21,7 @@ panicImpl(const std::string& msg, const char* file, int line)
 {
     std::cerr << "panic: " << msg << " @ " << file << ":" << line
               << std::endl;
-    std::abort();
+    throw InvariantError(msg, file, line);
 }
 
 void

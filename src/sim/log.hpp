@@ -10,13 +10,40 @@
 
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace footprint {
 
 /**
- * Abort the process because a simulator invariant was violated.
- * Use for conditions that indicate a bug in the simulator itself.
+ * A violated simulator invariant (FP_PANIC / FP_ASSERT), thrown so
+ * that supervisory layers — the invariant auditor, TrafficManager's
+ * forensic dump-on-abort — can attach diagnostics before the process
+ * exits. Uncaught, it terminates the process exactly like the abort()
+ * it replaced (the message has already been printed to stderr when the
+ * exception is constructed by panicImpl).
+ */
+class InvariantError : public std::runtime_error
+{
+  public:
+    InvariantError(const std::string& msg, const char* file, int line)
+        : std::runtime_error(msg), file_(file), line_(line)
+    {}
+
+    const char* file() const { return file_; }
+    int line() const { return line_; }
+
+  private:
+    const char* file_;
+    int line_;
+};
+
+/**
+ * Report a violated simulator invariant: print "panic: ..." to stderr,
+ * then throw InvariantError. Use for conditions that indicate a bug in
+ * the simulator itself. Callers that cannot recover simply let the
+ * exception escape (std::terminate preserves the old abort behavior);
+ * the traffic manager catches it to write a forensic state dump first.
  *
  * @param msg Description of the violated invariant.
  * @param file Source file (use the FP_PANIC macro).

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Test helper for violated-invariant expectations. FP_PANIC/FP_ASSERT
+ * throw a catchable InvariantError (so supervisory layers can write
+ * forensic dumps before terminating); EXPECT_PANIC asserts that a
+ * statement throws it with the expected message fragment.
+ */
+
+#ifndef FOOTPRINT_TESTS_EXPECT_PANIC_HPP
+#define FOOTPRINT_TESTS_EXPECT_PANIC_HPP
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/log.hpp"
+
+#define EXPECT_PANIC(stmt, substr)                                      \
+    do {                                                                \
+        try {                                                           \
+            stmt;                                                       \
+            ADD_FAILURE() << "expected InvariantError from " #stmt;     \
+        } catch (const ::footprint::InvariantError& e_) {               \
+            EXPECT_NE(std::string(e_.what()).find(substr),              \
+                      std::string::npos)                                \
+                << "panic message \"" << e_.what()                      \
+                << "\" lacks \"" << (substr) << '"';                    \
+        }                                                               \
+    } while (0)
+
+#endif // FOOTPRINT_TESTS_EXPECT_PANIC_HPP

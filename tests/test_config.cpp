@@ -8,8 +8,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "sim/config.hpp"
+#include "sim/log.hpp"
 
 namespace footprint {
 namespace {
@@ -236,6 +238,55 @@ TEST(ConfigFileExamples, ShippedConfigsLoad)
         EXPECT_GE(cfg.getInt("mesh_width"), 4) << name;
         EXPECT_FALSE(cfg.getStr("routing").empty()) << name;
     }
+}
+
+TEST(UnknownKeys, DefaultConfigHasNone)
+{
+    EXPECT_TRUE(defaultConfig().unknownKeys().empty());
+}
+
+TEST(UnknownKeys, DetectsTypodSubsystemKey)
+{
+    SimConfig cfg = defaultConfig();
+    cfg.set("telemetr_out", "x.csv");  // typo'd telemetry_out
+    cfg.set("audit_intrval", "500");   // typo'd audit_interval
+    const auto unknown = cfg.unknownKeys();
+    ASSERT_EQ(unknown.size(), 2u);
+    EXPECT_EQ(unknown[0], "audit_intrval");
+    EXPECT_EQ(unknown[1], "telemetr_out");
+}
+
+TEST(UnknownKeys, WarnSuggestsClosestKnownKey)
+{
+    SimConfig cfg = defaultConfig();
+    cfg.set("telemetr_out", "x.csv");
+    std::ostringstream sink;
+    setLogSink(&sink);
+    const std::size_t n = cfg.warnUnknownKeys();
+    setLogSink(nullptr);
+    EXPECT_EQ(n, 1u);
+    EXPECT_NE(sink.str().find("telemetr_out"), std::string::npos);
+    EXPECT_NE(sink.str().find("did you mean 'telemetry_out'"),
+              std::string::npos);
+}
+
+TEST(UnknownKeys, CleanConfigWarnsNothing)
+{
+    SimConfig cfg = defaultConfig();
+    cfg.set("background_rate", "0.3");  // optional but recognized
+    std::ostringstream sink;
+    setLogSink(&sink);
+    EXPECT_EQ(cfg.warnUnknownKeys(), 0u);
+    setLogSink(nullptr);
+    EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(UnknownKeys, IsKnownKeyCoversNewAuditKeys)
+{
+    EXPECT_TRUE(SimConfig::isKnownKey("audit"));
+    EXPECT_TRUE(SimConfig::isKnownKey("watchdog_interval"));
+    EXPECT_TRUE(SimConfig::isKnownKey("chrome_trace_out"));
+    EXPECT_FALSE(SimConfig::isKnownKey("watchdogg"));
 }
 
 TEST(DefaultConfig, MatchesTable2Baseline)

@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "expect_panic.hpp"
 #include "network/endpoint.hpp"
 
 namespace footprint {
@@ -225,7 +226,7 @@ TEST(EndpointDeath, MisroutedFlitPanics)
     f.vc = 0;
     f.head = f.tail = true;
     h.fromRouter->send(f, h.cycle - 1);
-    EXPECT_DEATH(h.step(), "misrouted");
+    EXPECT_PANIC(h.step(), "misrouted");
 }
 
 TEST(EndpointDeath, WrongSourcePanics)
@@ -234,7 +235,7 @@ TEST(EndpointDeath, WrongSourcePanics)
     Packet p;
     p.src = 9; // endpoint is node 3
     p.dest = 7;
-    EXPECT_DEATH(h.ep->enqueue(p), "wrong endpoint");
+    EXPECT_PANIC(h.ep->enqueue(p), "wrong endpoint");
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "expect_panic.hpp"
 #include "sim/log.hpp"
 
 namespace footprint {
@@ -18,16 +19,15 @@ TEST(LogDeath, FatalExitsWithCodeOne)
                 "fatal: bad config");
 }
 
-TEST(LogDeath, PanicAborts)
+TEST(LogDeath, PanicThrows)
 {
-    EXPECT_DEATH(FP_PANIC("broken invariant"),
-                 "panic: broken invariant");
+    EXPECT_PANIC(FP_PANIC("broken invariant"), "broken invariant");
 }
 
 TEST(LogDeath, AssertMacroFiresOnFalse)
 {
     const int x = 3;
-    EXPECT_DEATH(FP_ASSERT(x == 4, "x was " << x),
+    EXPECT_PANIC(FP_ASSERT(x == 4, "x was " << x),
                  "assertion failed: x == 4: x was 3");
 }
 
@@ -36,6 +36,34 @@ TEST(Log, AssertMacroPassesOnTrue)
     const int x = 4;
     FP_ASSERT(x == 4, "never printed");
     SUCCEED();
+}
+
+TEST(Log, PanicThrowsCatchableInvariantError)
+{
+    // Supervisory layers (auditor, dump-on-abort) catch the violation
+    // to attach forensics; the formatted message must survive.
+    try {
+        FP_PANIC("wedged allocator");
+        FAIL() << "panic returned";
+    } catch (const InvariantError& e) {
+        EXPECT_STREQ(e.what(), "wedged allocator");
+        EXPECT_NE(std::string(e.file()).find("test_log"),
+                  std::string::npos);
+        EXPECT_GT(e.line(), 0);
+    }
+}
+
+TEST(Log, AssertCarriesFormattedMessageInException)
+{
+    const int credits = -1;
+    try {
+        FP_ASSERT(credits >= 0, "credits " << credits << " at vc 3");
+        FAIL() << "assert passed";
+    } catch (const InvariantError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("credits >= 0"), std::string::npos);
+        EXPECT_NE(what.find("credits -1 at vc 3"), std::string::npos);
+    }
 }
 
 TEST(Log, WarnAndInformRespectQuiet)

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "expect_panic.hpp"
 #include "network/traffic_manager.hpp"
 #include "obs/packet_tracer.hpp"
 #include "obs/telemetry.hpp"
@@ -134,7 +135,7 @@ TEST(SamplerDeath, RejectsDuplicateChannel)
 {
     Sampler s;
     s.addChannel("dup", ChannelKind::Gauge, [] { return 0.0; });
-    EXPECT_DEATH(
+    EXPECT_PANIC(
         s.addChannel("dup", ChannelKind::Gauge, [] { return 0.0; }),
         "duplicate telemetry channel");
 }
@@ -144,7 +145,7 @@ TEST(SamplerDeath, RejectsChannelAfterFirstSample)
     Sampler s;
     s.addChannel("a", ChannelKind::Gauge, [] { return 0.0; });
     s.sample(0, "p");
-    EXPECT_DEATH(
+    EXPECT_PANIC(
         s.addChannel("late", ChannelKind::Gauge, [] { return 0.0; }),
         "registered after sampling started");
 }
@@ -365,10 +366,16 @@ TEST(TelemetryIntegration, ConfigDrivenCsvAndTrace)
     const RunStats stats = runExperiment(cfg);
     EXPECT_TRUE(stats.drained);
 
-    // CSV: header carries aggregate + per-router channels; the phase
-    // column walks warmup -> measure -> drain.
+    // CSV: a run-metadata comment precedes the header, which carries
+    // aggregate + per-router channels; the phase column walks
+    // warmup -> measure -> drain.
     std::ifstream in(csv);
     ASSERT_TRUE(in.is_open());
+    std::string meta_line;
+    ASSERT_TRUE(std::getline(in, meta_line));
+    EXPECT_EQ(meta_line.rfind("# footprint.telemetry/1 ", 0), 0u);
+    EXPECT_NE(meta_line.find("seed="), std::string::npos);
+    EXPECT_NE(meta_line.find("config_hash="), std::string::npos);
     std::string header;
     ASSERT_TRUE(std::getline(in, header));
     EXPECT_EQ(header.rfind("cycle,phase,", 0), 0u);
@@ -395,9 +402,15 @@ TEST(TelemetryIntegration, ConfigDrivenCsvAndTrace)
     EXPECT_TRUE(sawDrain);
     in.close();
 
-    // Trace: every line is a packet record with per-hop stalls.
+    // Trace: a metadata record first, then one packet record per
+    // traced packet with per-hop stalls.
     std::ifstream tin(trace);
     ASSERT_TRUE(tin.is_open());
+    std::string tmeta;
+    ASSERT_TRUE(std::getline(tin, tmeta));
+    EXPECT_EQ(tmeta.rfind("{\"schema\":\"footprint.packet_trace/1\"", 0),
+              0u);
+    EXPECT_NE(tmeta.find("\"meta\":{"), std::string::npos);
     std::size_t lines = 0;
     bool sawStall = false;
     for (std::string line; std::getline(tin, line); ++lines) {

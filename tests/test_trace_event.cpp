@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the Chrome trace-event exporter: JSON shape of the
+ * streaming writer, the counter-sink channel filter, and end-to-end
+ * timeline production through a config-driven TrafficManager run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "network/traffic_manager.hpp"
+#include "obs/run_metadata.hpp"
+#include "obs/trace_event.hpp"
+#include "sim/config.hpp"
+
+namespace footprint {
+namespace {
+
+std::size_t
+countOccurrences(const std::string& hay, const std::string& needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = hay.find(needle);
+         pos != std::string::npos; pos = hay.find(needle, pos + 1))
+        ++n;
+    return n;
+}
+
+TEST(ChromeTraceWriter, EmptyTraceIsAValidDocument)
+{
+    std::ostringstream os;
+    {
+        ChromeTraceWriter w(os);
+    }
+    const std::string doc = os.str();
+    EXPECT_EQ(doc.rfind("{\"displayTimeUnit\":\"ms\","
+                        "\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(doc.find("]}"), std::string::npos);
+}
+
+TEST(ChromeTraceWriter, EmitsAllEventKinds)
+{
+    std::ostringstream os;
+    ChromeTraceWriter w(os);
+    w.processName(1, "packets");
+    w.threadName(1, 7, "pkt 7");
+    w.completeEvent("pkt", 1, 7, 100, 25, "\"hops\":3");
+    w.instantEvent("phase: measure", 300);
+    w.counterEvent("net.vc_occ", 2, 300, 12.5);
+    w.close();
+    EXPECT_EQ(w.eventsWritten(), 5u);
+
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"name\":\"process_name\",\"ph\":\"M\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"thread_name\",\"ph\":\"M\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ts\":100"), std::string::npos);
+    EXPECT_NE(doc.find("\"dur\":25"), std::string::npos);
+    EXPECT_NE(doc.find("\"args\":{\"hops\":3}"), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+    // No trailing comma before the closing bracket.
+    EXPECT_EQ(doc.find(",\n]"), std::string::npos);
+}
+
+TEST(ChromeTraceWriter, CloseIsIdempotentAndAppendsMetadata)
+{
+    std::ostringstream os;
+    ChromeTraceWriter w(os);
+    RunMetadata meta;
+    meta.seed = 99;
+    meta.configHash = "cafe";
+    meta.gitDescribe = "test";
+    w.setMeta(meta);
+    w.instantEvent("x", 1);
+    w.close();
+    w.close();
+    const std::string doc = os.str();
+    EXPECT_EQ(countOccurrences(doc, "\"metadata\":"), 1u);
+    EXPECT_NE(doc.find("\"seed\":99"), std::string::npos);
+    EXPECT_NE(doc.find("\"config_hash\":\"cafe\""), std::string::npos);
+}
+
+TEST(ChromeCounterSink, ForwardsOnlyNetworkAggregateChannels)
+{
+    std::ostringstream os;
+    ChromeTraceWriter w(os);
+    ChromeCounterSink sink(&w);
+    sink.writeHeader({"net.vc_occ", "r0.vc_occ", "net.link_util",
+                      "ep3.inj_q"});
+    sink.writeRow(100, "measure", {1.0, 2.0, 3.0, 4.0});
+    sink.writeRow(200, "measure", {5.0, 6.0, 7.0, 8.0});
+    w.close();
+
+    const std::string doc = os.str();
+    EXPECT_EQ(countOccurrences(doc, "\"name\":\"net.vc_occ\""), 2u);
+    EXPECT_EQ(countOccurrences(doc, "\"name\":\"net.link_util\""), 2u);
+    EXPECT_EQ(doc.find("r0.vc_occ"), std::string::npos);
+    EXPECT_EQ(doc.find("ep3.inj_q"), std::string::npos);
+    EXPECT_NE(doc.find("\"ts\":100"), std::string::npos);
+    EXPECT_NE(doc.find("\"value\":1"), std::string::npos);
+}
+
+TEST(ChromeTraceIntegration, ConfigDrivenRunWritesTimeline)
+{
+    namespace fs = std::filesystem;
+    const fs::path path =
+        fs::temp_directory_path() / "fp_test_trace.json";
+    fs::remove(path);
+
+    SimConfig cfg = defaultConfig();
+    cfg.setInt("mesh_width", 4);
+    cfg.setInt("mesh_height", 4);
+    cfg.setDouble("injection_rate", 0.1);
+    cfg.setInt("warmup_cycles", 100);
+    cfg.setInt("measure_cycles", 300);
+    cfg.setInt("drain_cycles", 2000);
+    cfg.setBool("chrome_trace", true);
+    cfg.set("chrome_trace_out", path.string());
+
+    const RunStats stats = runExperiment(cfg);
+    EXPECT_TRUE(stats.drained);
+    ASSERT_TRUE(fs::exists(path));
+
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string doc = buf.str();
+
+    EXPECT_EQ(doc.rfind("{\"displayTimeUnit\":\"ms\"", 0), 0u);
+    // Packet lifecycles: whole-packet slices + per-hop slices on the
+    // "packets" process, plus the phase markers from the hub.
+    EXPECT_NE(doc.find("\"name\":\"process_name\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"pkt\""), std::string::npos);
+    EXPECT_GT(countOccurrences(doc, "\"ph\":\"X\""), 10u);
+    EXPECT_NE(doc.find("\"name\":\"phase: measure\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"phase: drain\""),
+              std::string::npos);
+    // Run metadata lands in the document footer.
+    EXPECT_NE(doc.find("\"metadata\":{\"seed\":"), std::string::npos);
+    fs::remove(path);
+}
+
+} // namespace
+} // namespace footprint

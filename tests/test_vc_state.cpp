@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "expect_panic.hpp"
 #include "router/vc_state.hpp"
 
 namespace footprint {
@@ -112,7 +113,7 @@ TEST(OutVcStateDeath, DoubleAllocatePanics)
 {
     OutVcState s(4);
     s.allocate(1);
-    EXPECT_DEATH(s.allocate(2), "busy output VC");
+    EXPECT_PANIC(s.allocate(2), "busy output VC");
 }
 
 TEST(OutVcStateDeath, CreditUnderflowPanics)
@@ -120,13 +121,13 @@ TEST(OutVcStateDeath, CreditUnderflowPanics)
     OutVcState s(1);
     s.allocate(1);
     s.consumeCredit();
-    EXPECT_DEATH(s.consumeCredit(), "credit");
+    EXPECT_PANIC(s.consumeCredit(), "credit");
 }
 
 TEST(OutVcStateDeath, CreditOverflowPanics)
 {
     OutVcState s(1);
-    EXPECT_DEATH(s.returnCredit(), "overflow");
+    EXPECT_PANIC(s.returnCredit(), "overflow");
 }
 
 TEST(InputVc, LifecycleAndRelease)
