@@ -16,12 +16,32 @@
 #include <string>
 #include <vector>
 
+#include "exec/exec_context.hpp"
 #include "network/sweep.hpp"
 #include "network/traffic_manager.hpp"
 #include "sim/config.hpp"
 #include "sim/log.hpp"
 
 namespace footprint::bench {
+
+/**
+ * Worker-thread count for a bench harness: "--jobs N" on the command
+ * line, else the FP_BENCH_JOBS environment variable, else all hardware
+ * threads. Every harness is built on the deterministic sweep engine,
+ * so the thread count changes wall-clock only, never the printed
+ * numbers.
+ */
+inline unsigned
+benchJobs(int argc, char** argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--jobs")
+            return static_cast<unsigned>(std::atoi(argv[i + 1]));
+    }
+    if (const char* env = std::getenv("FP_BENCH_JOBS"))
+        return static_cast<unsigned>(std::atoi(env));
+    return 0; // ExecContext: 0 = hardware concurrency
+}
 
 /** Cycle-count multiplier from the FP_BENCH_SCALE environment var. */
 inline double

@@ -14,11 +14,12 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace footprint;
     using namespace footprint::bench;
     setQuiet(true);
+    ExecContext ctx(benchJobs(argc, argv));
 
     header("Figure 5: latency-throughput, single-flit packets "
            "(8x8, 10 VCs)");
@@ -32,7 +33,8 @@ main()
             SimConfig cfg = benchBaseline();
             cfg.set("traffic", pattern);
             cfg.set("routing", algo);
-            const auto points = latencyThroughputCurve(cfg, rates);
+            const auto points =
+                latencyThroughputCurve(cfg, rates, ctx);
             std::printf("%s", formatCurve(algo, points).c_str());
             saturation[algo] = saturationFromLadder(points);
         }

@@ -13,11 +13,12 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace footprint;
     using namespace footprint::bench;
     setQuiet(true);
+    ExecContext ctx(benchJobs(argc, argv));
 
     header("Figure 6: latency-throughput, uniform 1-6 flit packets "
            "(8x8, 10 VCs)");
@@ -32,7 +33,8 @@ main()
             cfg.set("traffic", pattern);
             cfg.set("routing", algo);
             cfg.set("packet_size", "uniform1-6");
-            const auto points = latencyThroughputCurve(cfg, rates);
+            const auto points =
+                latencyThroughputCurve(cfg, rates, ctx);
             std::printf("%s", formatCurve(algo, points).c_str());
             saturation[algo] = saturationFromLadder(points);
         }

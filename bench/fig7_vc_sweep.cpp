@@ -49,10 +49,11 @@ meanRouterOccupancy(SimConfig cfg, double rate)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace footprint::bench;
     setQuiet(true);
+    ExecContext ctx(benchJobs(argc, argv));
 
     header("Figure 7: VC-count sweep, DBAR vs Footprint (8x8)");
     const std::vector<double> rates{0.10, 0.20, 0.28, 0.34, 0.40,
@@ -73,7 +74,7 @@ main()
                 cfg.set("routing", algo);
                 cfg.setInt("num_vcs", vcs);
                 sat[i] = saturationFromLadder(
-                    latencyThroughputCurve(cfg, rates));
+                    latencyThroughputCurve(cfg, rates, ctx));
                 // Queueing state just below this cell's saturation.
                 occ[i] = meanRouterOccupancy(cfg, 0.9 * sat[i]);
                 ++i;

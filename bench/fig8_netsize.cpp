@@ -12,11 +12,12 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace footprint;
     using namespace footprint::bench;
     setQuiet(true);
+    ExecContext ctx(benchJobs(argc, argv));
 
     header("Figure 8: DBAR throughput normalized to Footprint, by "
            "mesh size");
@@ -37,7 +38,7 @@ main()
                 cfg.set("traffic", pattern);
                 cfg.set("routing", algo);
                 sat[i++] = saturationFromLadder(
-                    latencyThroughputCurve(cfg, rates));
+                    latencyThroughputCurve(cfg, rates, ctx));
             }
             std::printf("%7dx%-2d %-12s %12.3f %14.3f %17.3f\n", k, k,
                         pattern, sat[0], sat[1],

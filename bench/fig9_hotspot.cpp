@@ -14,39 +14,50 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace footprint;
     using namespace footprint::bench;
     setQuiet(true);
+    ExecContext ctx(benchJobs(argc, argv));
 
     header("Figure 9: background latency vs hotspot injection rate "
            "(8x8, 10 VCs, background at 0.30)");
     const std::vector<double> hotspot_rates{0.10, 0.20, 0.30, 0.36,
                                             0.42, 0.48, 0.54, 0.60};
+    const std::vector<const char*> algos{"dbar", "footprint"};
 
     std::printf("%12s", "hotspot_rate");
-    for (const char* algo : {"dbar", "footprint"})
+    for (const char* algo : algos)
         std::printf(" %18s", algo);
     std::printf("\n");
+
+    // The whole (rate x algorithm) grid is independent runs: execute
+    // it as one parallel batch, then print in grid order.
+    std::vector<std::function<RunStats()>> tasks;
+    for (double rate : hotspot_rates) {
+        for (const char* algo : algos) {
+            SimConfig cfg = benchBaseline();
+            cfg.set("traffic", "hotspot");
+            cfg.set("routing", algo);
+            cfg.setDouble("injection_rate", rate);
+            cfg.setDouble("background_rate", 0.30);
+            tasks.push_back(
+                [cfg]() { return runExperiment(cfg); });
+        }
+    }
+    const std::vector<RunStats> grid = ctx.map(std::move(tasks));
 
     double collapse[2] = {0.0, 0.0};
     std::vector<std::vector<double>> lat(
         2, std::vector<double>(hotspot_rates.size(), 0.0));
     for (std::size_t r = 0; r < hotspot_rates.size(); ++r) {
         std::printf("%12.2f", hotspot_rates[r]);
-        int i = 0;
-        for (const char* algo : {"dbar", "footprint"}) {
-            SimConfig cfg = benchBaseline();
-            cfg.set("traffic", "hotspot");
-            cfg.set("routing", algo);
-            cfg.setDouble("injection_rate", hotspot_rates[r]);
-            cfg.setDouble("background_rate", 0.30);
-            const RunStats stats = runExperiment(cfg);
-            lat[static_cast<std::size_t>(i)][r] = stats.avgLatency();
+        for (std::size_t i = 0; i < algos.size(); ++i) {
+            const RunStats& stats = grid[r * algos.size() + i];
+            lat[i][r] = stats.avgLatency();
             std::printf(" %12.1f%s", stats.avgLatency(),
                         stats.saturated ? " [sat]" : "      ");
-            ++i;
         }
         std::printf("\n");
     }

@@ -20,11 +20,19 @@
  *   --audit                 periodic invariant audits + watchdog
  *   --dump-on-abort         forensic state dump on abort/violation
  *   --chrome-trace          chrome://tracing timeline (trace.json)
+ *
+ * Sweep mode (rate ladder instead of a single run; see DESIGN.md §11):
+ *   --sweep RATES           offered rates, "0.05,0.1,0.2" or lo:hi:n
+ *   --jobs N                worker threads (default: all hardware
+ *                           threads); results are identical for any N
+ *   --bench-out FILE        write a footprint.bench/1 JSON artifact
  */
 
 #include <cstdio>
 #include <string>
 
+#include "exec/exec_context.hpp"
+#include "exec/sweep_runner.hpp"
 #include "metrics/purity.hpp"
 #include "network/traffic_manager.hpp"
 #include "sim/config.hpp"
@@ -52,6 +60,65 @@ isBareFlag(const std::string& key)
         || key == "chrome_trace";
 }
 
+/**
+ * Rate-ladder mode: run the configured (routing, traffic, mesh) cell
+ * at every rate of --sweep as parallel jobs, print the curve, and
+ * optionally export the footprint.bench/1 artifact.
+ */
+int
+runSweepMode(footprint::SimConfig cfg)
+{
+    using namespace footprint;
+
+    SweepSpec spec;
+    spec.rates = parseRateSpec(cfg.getStr("sweep_rates"));
+    spec.routings = {cfg.getStr("routing")};
+    spec.meshes = {
+        {static_cast<int>(cfg.getInt("mesh_width")),
+         static_cast<int>(cfg.getInt("mesh_height"))}};
+    spec.traffics = {cfg.getStr("traffic")};
+    spec.seeds = static_cast<int>(cfg.getInt("sweep_seeds"));
+
+    const auto jobs = static_cast<unsigned>(cfg.getInt("jobs"));
+    const std::string out = cfg.getStr("bench_out");
+    // Execution knobs are not part of the experiment identity: the
+    // artifact must not depend on --jobs/--bench-out (the CI
+    // determinism gate compares payloads across thread counts).
+    cfg.setInt("jobs", 0);
+    cfg.set("bench_out", "");
+    spec.base = cfg;
+
+    ExecContext ctx(jobs);
+    SweepRunner runner(ctx);
+    const SweepResult result = runner.run(spec);
+
+    std::vector<CurvePoint> points;
+    for (const JobResult& r : result.jobs) {
+        if (!r.probe)
+            points.push_back(r.point);
+    }
+    const std::string label =
+        cfg.getStr("routing") + "/" + cfg.getStr("traffic");
+    std::printf("--- sweep results ---\n%s",
+                formatCurve(label, points).c_str());
+    for (const SaturationPoint& sp : result.saturation) {
+        std::printf("saturation throughput    : %.3f "
+                    "(zero-load latency %.2f)\n",
+                    sp.throughput, sp.zeroLoadLatency);
+    }
+    std::printf("wall clock               : %.2f s (%zu jobs, "
+                "%.2f jobs/s, --jobs %u)\n",
+                result.wallSeconds, result.jobs.size(),
+                result.jobsPerSec, ctx.jobs());
+    if (!out.empty()) {
+        writeBenchResults(out, spec, result);
+        std::printf("bench results            : %s "
+                    "(schema footprint.bench/1)\n",
+                    out.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -60,16 +127,22 @@ main(int argc, char** argv)
     using namespace footprint;
 
     SimConfig cfg = defaultConfig();
+    cfg.set("sweep_rates", ""); // non-empty switches to sweep mode
+    cfg.setInt("sweep_seeds", 1);
+    cfg.setInt("jobs", 0); // 0 = all hardware threads
+    cfg.set("bench_out", "");
     // A config= argument loads a file first; later key=value overrides
     // win, matching BookSim's "config file then overrides" convention.
     // "--key value" flags are equivalent to "key=value" with dashes
-    // mapped to underscores.
+    // mapped to underscores; "--sweep" is sugar for "sweep_rates".
     for (int i = 1; i < argc; ++i) {
         const std::string arg(argv[i]);
         if (arg.rfind("config=", 0) == 0) {
             cfg.loadFile(arg.substr(7));
         } else if (arg.rfind("--", 0) == 0) {
-            const std::string key = flagToKey(arg);
+            std::string key = flagToKey(arg);
+            if (key == "sweep")
+                key = "sweep_rates";
             if (isBareFlag(key)) {
                 cfg.set(key, "true");
                 continue;
@@ -86,6 +159,9 @@ main(int argc, char** argv)
 
     std::printf("== footprint-noc simulator ==\n%s\n",
                 cfg.toString().c_str());
+
+    if (!cfg.getStr("sweep_rates").empty())
+        return runSweepMode(cfg);
 
     RunStats stats;
     try {

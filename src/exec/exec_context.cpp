@@ -1,0 +1,21 @@
+#include "exec/exec_context.hpp"
+
+namespace footprint {
+
+ExecContext::ExecContext(unsigned jobs)
+    : jobs_(jobs == 0 ? ThreadPool::hardwareThreads() : jobs)
+{
+    if (jobs_ > 1)
+        pool_ = std::make_unique<ThreadPool>(jobs_);
+}
+
+ExecContext&
+ExecContext::sequential()
+{
+    // Stateless (no pool), so sharing one instance across threads is
+    // safe.
+    static ExecContext ctx(1);
+    return ctx;
+}
+
+} // namespace footprint

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * ExecContext — the execution policy handed to experiment drivers.
+ *
+ * Wraps an optional ThreadPool behind one ordered fan-out primitive,
+ * map(): run a batch of independent closures and return their results
+ * in submission order. A context with jobs == 1 owns no pool and runs
+ * everything inline, so sequential and parallel execution share one
+ * code path in the drivers.
+ *
+ * Determinism contract: map() affects only *when* tasks run, never
+ * what they compute or the order results are returned in. Drivers
+ * built on it (latencyThroughputCurve, saturationThroughput,
+ * SweepRunner) produce bit-identical results for any jobs value as
+ * long as each task is itself deterministic — which simulation jobs
+ * are, because every one owns its private SimConfig, RNG streams, and
+ * telemetry sinks.
+ */
+
+#ifndef FOOTPRINT_EXEC_EXEC_CONTEXT_HPP
+#define FOOTPRINT_EXEC_EXEC_CONTEXT_HPP
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace footprint {
+
+class ExecContext
+{
+  public:
+    /**
+     * @param jobs worker count; 0 means hardware concurrency. A
+     * context with one job runs tasks inline on the calling thread.
+     */
+    explicit ExecContext(unsigned jobs = 0);
+
+    /** Effective parallelism (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    bool parallel() const { return jobs_ > 1; }
+
+    /**
+     * Run every task and return the results in task order. Parallel
+     * contexts execute tasks on the pool; the first exception (in task
+     * order) is rethrown after all tasks have finished, so no job is
+     * abandoned mid-run.
+     */
+    template <typename T>
+    std::vector<T>
+    map(std::vector<std::function<T()>> tasks)
+    {
+        std::vector<T> results;
+        results.reserve(tasks.size());
+        if (!pool_) {
+            for (auto& task : tasks)
+                results.push_back(task());
+            return results;
+        }
+        std::vector<std::future<T>> futures;
+        futures.reserve(tasks.size());
+        for (auto& task : tasks)
+            futures.push_back(pool_->submit(std::move(task)));
+        std::exception_ptr first_error;
+        for (auto& f : futures) {
+            try {
+                results.push_back(f.get());
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        if (first_error)
+            std::rethrow_exception(first_error);
+        return results;
+    }
+
+    /** Sequential context (jobs == 1), for delegating legacy APIs. */
+    static ExecContext& sequential();
+
+  private:
+    unsigned jobs_ = 1;
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_EXEC_EXEC_CONTEXT_HPP

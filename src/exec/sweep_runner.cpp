@@ -1,0 +1,433 @@
+#include "exec/sweep_runner.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "exec/exec_context.hpp"
+#include "network/traffic_manager.hpp"
+#include "obs/run_metadata.hpp"
+#include "obs/sink.hpp"
+#include "sim/log.hpp"
+#include "sim/rng.hpp"
+
+namespace footprint {
+
+namespace {
+
+/**
+ * "out.csv" -> "out.job3.csv": per-job artifact paths, so parallel
+ * jobs with telemetry enabled never clobber one another's files.
+ */
+std::string
+jobSuffixedPath(const std::string& path, std::size_t job)
+{
+    const std::string tag = ".job" + std::to_string(job);
+    const auto dot = path.find_last_of('.');
+    const auto slash = path.find_last_of('/');
+    if (dot == std::string::npos
+        || (slash != std::string::npos && dot < slash))
+        return path + tag;
+    return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+/**
+ * Isolate every output artifact a job's config could write. Telemetry
+ * defaults that are empty but implicitly enabled (trace_out with
+ * trace_packets > 0, chrome_trace_out with chrome_trace) are pinned to
+ * explicit per-job paths too.
+ */
+void
+isolateArtifactPaths(SimConfig& cfg, std::size_t job)
+{
+    if (cfg.contains("telemetry_out")
+        && !cfg.getStr("telemetry_out").empty())
+        cfg.set("telemetry_out",
+                jobSuffixedPath(cfg.getStr("telemetry_out"), job));
+    if (cfg.contains("trace_packets")
+        && cfg.getInt("trace_packets") > 0) {
+        const std::string base = cfg.contains("trace_out")
+                && !cfg.getStr("trace_out").empty()
+            ? cfg.getStr("trace_out")
+            : std::string("trace.jsonl");
+        cfg.set("trace_out", jobSuffixedPath(base, job));
+    }
+    if (cfg.contains("chrome_trace") && cfg.getBool("chrome_trace")) {
+        const std::string base = cfg.contains("chrome_trace_out")
+                && !cfg.getStr("chrome_trace_out").empty()
+            ? cfg.getStr("chrome_trace_out")
+            : std::string("trace.json");
+        cfg.set("chrome_trace_out", jobSuffixedPath(base, job));
+    }
+    if (cfg.contains("dump_on_abort") && cfg.getBool("dump_on_abort"))
+        cfg.set("dump_path",
+                jobSuffixedPath(cfg.getStr("dump_path"), job));
+}
+
+/**
+ * Shortest decimal rendering of @p v that round-trips to the same
+ * double — readable where possible, bit-faithful always, and a pure
+ * function of the value (deterministic artifact bytes).
+ */
+std::string
+jsonDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.15g", v);
+    if (std::strtod(buf, nullptr) != v)
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+isoUtcNow()
+{
+    const std::time_t now = std::chrono::system_clock::to_time_t(
+        std::chrono::system_clock::now());
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    return buf;
+}
+
+/** Ladder interpolation shared with bench::saturationFromLadder. */
+double
+saturationFromPoints(const std::vector<const JobResult*>& ladder)
+{
+    double last_good = 0.0;
+    for (const JobResult* r : ladder) {
+        if (r->point.saturated) {
+            return last_good > 0.0
+                ? (last_good + r->point.offered) / 2.0
+                : r->point.offered / 2.0;
+        }
+        last_good = r->point.offered;
+    }
+    return last_good;
+}
+
+} // namespace
+
+MeshSize
+parseMeshSize(const std::string& label)
+{
+    MeshSize m;
+    int w = 0;
+    int h = 0;
+    char x = '\0';
+    std::istringstream iss(label);
+    if (iss >> w) {
+        if (iss >> x >> h) {
+            if (x != 'x' || w <= 0 || h <= 0 || !iss.eof())
+                fatal("malformed mesh size: " + label);
+            m.width = w;
+            m.height = h;
+            return m;
+        }
+        if (w <= 0)
+            fatal("malformed mesh size: " + label);
+        m.width = m.height = w; // "8" means square 8x8
+        return m;
+    }
+    fatal("malformed mesh size: " + label);
+    return m;
+}
+
+std::vector<std::string>
+splitList(const std::string& csv)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream iss(csv);
+    while (std::getline(iss, item, ',')) {
+        const auto begin = item.find_first_not_of(" \t");
+        if (begin == std::string::npos)
+            continue;
+        const auto end = item.find_last_not_of(" \t");
+        out.push_back(item.substr(begin, end - begin + 1));
+    }
+    return out;
+}
+
+std::vector<double>
+parseRateSpec(const std::string& spec)
+{
+    std::vector<double> rates;
+    if (spec.find(':') != std::string::npos) {
+        double lo = 0.0;
+        double hi = 0.0;
+        int count = 0;
+        char c1 = '\0';
+        char c2 = '\0';
+        std::istringstream iss(spec);
+        if (!(iss >> lo >> c1 >> hi >> c2 >> count) || c1 != ':'
+            || c2 != ':' || count < 2 || !iss.eof())
+            fatal("malformed rate spec (want lo:hi:count): " + spec);
+        return linspace(lo, hi, count);
+    }
+    for (const std::string& item : splitList(spec)) {
+        char* end = nullptr;
+        const double v = std::strtod(item.c_str(), &end);
+        if (end == item.c_str() || *end != '\0' || v <= 0.0)
+            fatal("malformed rate in list: " + item);
+        rates.push_back(v);
+    }
+    if (rates.empty())
+        fatal("empty rate spec: " + spec);
+    return rates;
+}
+
+std::vector<SimJob>
+SweepRunner::expand(const SweepSpec& spec)
+{
+    FP_ASSERT(!spec.rates.empty(), "sweep needs at least one rate");
+    FP_ASSERT(!spec.routings.empty(),
+              "sweep needs at least one routing algorithm");
+    FP_ASSERT(!spec.meshes.empty(), "sweep needs at least one mesh");
+    FP_ASSERT(!spec.traffics.empty(),
+              "sweep needs at least one traffic pattern");
+    FP_ASSERT(spec.seeds >= 1, "sweep needs at least one seed");
+
+    const auto base_seed =
+        static_cast<std::uint64_t>(spec.base.getInt("seed"));
+    std::vector<SimJob> jobs;
+    jobs.reserve(spec.meshes.size() * spec.routings.size()
+                 * spec.traffics.size()
+                 * static_cast<std::size_t>(spec.seeds)
+                 * (spec.rates.size() + 1));
+
+    auto materialize = [&](const MeshSize& mesh,
+                           const std::string& routing,
+                           const std::string& traffic, int replicate,
+                           bool probe, double rate) {
+        SimJob job;
+        job.index = jobs.size();
+        job.mesh = mesh;
+        job.routing = routing;
+        job.traffic = traffic;
+        job.replicate = replicate;
+        job.probe = probe;
+        job.rate = rate;
+        job.seed = deriveStreamSeed(base_seed, job.index);
+        job.cfg = spec.base;
+        job.cfg.setInt("mesh_width", mesh.width);
+        job.cfg.setInt("mesh_height", mesh.height);
+        job.cfg.set("routing", routing);
+        job.cfg.set("traffic", traffic);
+        job.cfg.setDouble("injection_rate", rate);
+        job.cfg.setInt("seed", static_cast<std::int64_t>(job.seed));
+        isolateArtifactPaths(job.cfg, job.index);
+        jobs.push_back(std::move(job));
+    };
+
+    for (const MeshSize& mesh : spec.meshes) {
+        for (const std::string& routing : spec.routings) {
+            for (const std::string& traffic : spec.traffics) {
+                for (int rep = 0; rep < spec.seeds; ++rep) {
+                    materialize(mesh, routing, traffic, rep,
+                                /*probe=*/true, spec.probeRate);
+                    for (double rate : spec.rates)
+                        materialize(mesh, routing, traffic, rep,
+                                    /*probe=*/false, rate);
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+SweepResult
+SweepRunner::run(const SweepSpec& spec)
+{
+    std::vector<SimJob> jobs = expand(spec);
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::function<JobResult()>> tasks;
+    tasks.reserve(jobs.size());
+    for (const SimJob& job : jobs) {
+        tasks.push_back([&job]() {
+            const RunStats stats = runExperiment(job.cfg);
+            JobResult r;
+            r.index = job.index;
+            r.mesh = job.mesh;
+            r.routing = job.routing;
+            r.traffic = job.traffic;
+            r.replicate = job.replicate;
+            r.probe = job.probe;
+            r.seed = job.seed;
+            r.point.offered = job.rate;
+            r.point.accepted = stats.acceptedFlitsPerNodeCycle;
+            r.point.latency = stats.avgLatency();
+            // Provisional: the latency criterion is applied once the
+            // cell's zero-load probe is known.
+            r.point.saturated = stats.saturated;
+            r.p50 = stats.latencyHist.percentile(0.50);
+            r.p99 = stats.latencyHist.percentile(0.99);
+            r.hops = stats.hops.mean();
+            r.cycles = stats.cyclesRun;
+            r.drained = stats.drained;
+            r.stallClass = stats.stallClass;
+            return r;
+        });
+    }
+
+    SweepResult result;
+    result.jobs = ctx_.map(std::move(tasks));
+    const auto end = std::chrono::steady_clock::now();
+
+    // Classify every rate point against its cell+replicate zero-load
+    // probe, then reduce each cell's ladders to one saturation point.
+    using CellKey = std::tuple<int, int, std::string, std::string>;
+    std::map<std::pair<CellKey, int>, double> zero_load;
+    for (const JobResult& r : result.jobs) {
+        if (r.probe) {
+            zero_load[{CellKey{r.mesh.width, r.mesh.height, r.routing,
+                               r.traffic},
+                       r.replicate}] = r.point.latency;
+        }
+    }
+    std::map<CellKey, std::vector<std::vector<const JobResult*>>>
+        ladders;
+    std::map<CellKey, double> zero_load_sum;
+    for (JobResult& r : result.jobs) {
+        const CellKey key{r.mesh.width, r.mesh.height, r.routing,
+                          r.traffic};
+        if (r.probe) {
+            auto& cell = ladders[key]; // ensure cell exists in order
+            cell.emplace_back();
+            zero_load_sum[key] += r.point.latency;
+            continue;
+        }
+        const double zl = zero_load.at({key, r.replicate});
+        if (!r.point.saturated) {
+            r.point.saturated = zl > 0.0
+                && r.point.latency > spec.latencyFactor * zl;
+        }
+        ladders.at(key).back().push_back(&r);
+    }
+    for (const auto& [key, replicate_ladders] : ladders) {
+        SaturationPoint sp;
+        sp.mesh.width = std::get<0>(key);
+        sp.mesh.height = std::get<1>(key);
+        sp.routing = std::get<2>(key);
+        sp.traffic = std::get<3>(key);
+        double sum = 0.0;
+        for (const auto& ladder : replicate_ladders)
+            sum += saturationFromPoints(ladder);
+        const auto n =
+            static_cast<double>(replicate_ladders.size());
+        sp.throughput = sum / n;
+        sp.zeroLoadLatency = zero_load_sum.at(key) / n;
+        result.saturation.push_back(sp);
+    }
+
+    result.baseSeed =
+        static_cast<std::uint64_t>(spec.base.getInt("seed"));
+    result.jobsUsed = ctx_.jobs();
+    result.wallSeconds =
+        std::chrono::duration<double>(end - start).count();
+    result.jobsPerSec = result.wallSeconds > 0.0
+        ? static_cast<double>(result.jobs.size()) / result.wallSeconds
+        : 0.0;
+    return result;
+}
+
+std::string
+benchResultsJson(const SweepSpec& spec, const SweepResult& result,
+                 bool include_timing)
+{
+    const RunMetadata meta = RunMetadata::fromConfig(spec.base);
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"footprint.bench/1\",\n";
+
+    // Deterministic run identity.
+    os << "  \"run\": {\"git\": \""
+       << jsonEscape(RunMetadata::buildVersion())
+       << "\", \"config_hash\": \"" << jsonEscape(meta.configHash)
+       << "\", \"base_seed\": " << result.baseSeed
+       << ", \"total_jobs\": " << result.jobs.size() << "},\n";
+
+    // Wall-clock metadata, the only schedule-dependent content; the
+    // determinism gate compares documents with this object omitted.
+    if (include_timing) {
+        os << "  \"timing\": {\"created\": \"" << isoUtcNow()
+           << "\", \"jobs\": " << result.jobsUsed
+           << ", \"wall_seconds\": " << jsonDouble(result.wallSeconds)
+           << ", \"jobs_per_sec\": " << jsonDouble(result.jobsPerSec)
+           << "},\n";
+    }
+
+    os << "  \"sweep\": {\"rates\": [";
+    for (std::size_t i = 0; i < spec.rates.size(); ++i)
+        os << (i ? ", " : "") << jsonDouble(spec.rates[i]);
+    os << "], \"routings\": [";
+    for (std::size_t i = 0; i < spec.routings.size(); ++i)
+        os << (i ? ", " : "") << '"' << jsonEscape(spec.routings[i])
+           << '"';
+    os << "], \"meshes\": [";
+    for (std::size_t i = 0; i < spec.meshes.size(); ++i)
+        os << (i ? ", " : "") << '"' << spec.meshes[i].label() << '"';
+    os << "], \"traffics\": [";
+    for (std::size_t i = 0; i < spec.traffics.size(); ++i)
+        os << (i ? ", " : "") << '"' << jsonEscape(spec.traffics[i])
+           << '"';
+    os << "], \"seeds\": " << spec.seeds << ", \"latency_factor\": "
+       << jsonDouble(spec.latencyFactor) << "},\n";
+
+    os << "  \"results\": [\n";
+    for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+        const JobResult& r = result.jobs[i];
+        os << "    {\"job\": " << r.index << ", \"mesh\": \""
+           << r.mesh.label() << "\", \"routing\": \""
+           << jsonEscape(r.routing) << "\", \"traffic\": \""
+           << jsonEscape(r.traffic)
+           << "\", \"replicate\": " << r.replicate << ", \"probe\": "
+           << (r.probe ? "true" : "false") << ", \"seed\": " << r.seed
+           << ", \"offered\": " << jsonDouble(r.point.offered)
+           << ", \"accepted\": " << jsonDouble(r.point.accepted)
+           << ", \"latency\": " << jsonDouble(r.point.latency)
+           << ", \"p50\": " << jsonDouble(r.p50) << ", \"p99\": "
+           << jsonDouble(r.p99) << ", \"hops\": " << jsonDouble(r.hops)
+           << ", \"cycles\": " << r.cycles << ", \"drained\": "
+           << (r.drained ? "true" : "false") << ", \"saturated\": "
+           << (r.point.saturated ? "true" : "false")
+           << ", \"stall\": \"" << jsonEscape(r.stallClass) << "\"}"
+           << (i + 1 < result.jobs.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+
+    os << "  \"saturation\": [\n";
+    for (std::size_t i = 0; i < result.saturation.size(); ++i) {
+        const SaturationPoint& sp = result.saturation[i];
+        os << "    {\"mesh\": \"" << sp.mesh.label()
+           << "\", \"routing\": \"" << jsonEscape(sp.routing)
+           << "\", \"traffic\": \"" << jsonEscape(sp.traffic)
+           << "\", \"throughput\": " << jsonDouble(sp.throughput)
+           << ", \"zero_load_latency\": "
+           << jsonDouble(sp.zeroLoadLatency) << "}"
+           << (i + 1 < result.saturation.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+void
+writeBenchResults(const std::string& path, const SweepSpec& spec,
+                  const SweepResult& result)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open bench results file: " + path);
+    out << benchResultsJson(spec, result);
+    if (!out)
+        fatal("failed writing bench results file: " + path);
+}
+
+} // namespace footprint

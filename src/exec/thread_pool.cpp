@@ -1,0 +1,70 @@
+#include "exec/thread_pool.hpp"
+
+#include "sim/log.hpp"
+
+namespace footprint {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareThreads();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::post(std::function<void()> fn)
+{
+    FP_ASSERT(fn != nullptr, "ThreadPool::post needs a callable");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        FP_ASSERT(!stopping_,
+                  "ThreadPool::post after shutdown started");
+        queue_.push_back(std::move(fn));
+    }
+    wake_.notify_one();
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this]() { return stopping_ || !queue_.empty(); });
+            // Drain-before-exit: a stopping pool still runs every task
+            // that was submitted before shutdown began.
+            if (queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // Exceptions are captured by the packaged_task wrapper from
+        // submit(); a throwing post()ed task would terminate, exactly
+        // like a throwing detached thread.
+        task();
+    }
+}
+
+} // namespace footprint

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fixed-size worker thread pool behind the parallel experiment engine.
+ *
+ * Tasks are executed in FIFO submission order (a single-threaded pool
+ * is therefore a plain deferred executor), exceptions propagate to the
+ * caller through the returned futures, and destruction drains every
+ * already-submitted task before joining — submitted work is never
+ * dropped.
+ */
+
+#ifndef FOOTPRINT_EXEC_THREAD_POOL_HPP
+#define FOOTPRINT_EXEC_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace footprint {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers; @p threads == 0 uses the hardware
+     * concurrency (at least 1).
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains the queue, then stops and joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Enqueue @p fn and return a future for its result. An exception
+     * thrown by @p fn is captured and rethrown by future::get().
+     */
+    template <typename Fn>
+    std::future<std::invoke_result_t<Fn>>
+    submit(Fn&& fn)
+    {
+        using R = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> result = task->get_future();
+        post([task]() { (*task)(); });
+        return result;
+    }
+
+    /** Enqueue fire-and-forget work (FIFO with submit()). */
+    void post(std::function<void()> fn);
+
+    /** Hardware concurrency, clamped to at least 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_EXEC_THREAD_POOL_HPP

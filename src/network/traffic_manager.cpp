@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <csignal>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 
@@ -44,17 +45,29 @@ sigintFlag(int)
 /**
  * Installs a SIGINT handler that only raises a flag, so a dump-on-abort
  * run can serialize its forensic state before exiting; restores the
- * previous handler on scope exit (including the exception path).
+ * previous handler once the last concurrent user leaves. Signal
+ * dispositions are process-global, so when several sweep jobs run
+ * dump_on_abort simultaneously only the first instance installs the
+ * handler and only the last restores it (every instance still sees the
+ * shared flag fire).
  */
 class ScopedSigintFlag
 {
   public:
     ScopedSigintFlag()
     {
-        g_interrupted = 0;
-        prev_ = std::signal(SIGINT, sigintFlag);
+        std::lock_guard<std::mutex> lock(mutex());
+        if (users()++ == 0) {
+            g_interrupted = 0;
+            savedPrev() = std::signal(SIGINT, sigintFlag);
+        }
     }
-    ~ScopedSigintFlag() { std::signal(SIGINT, prev_); }
+    ~ScopedSigintFlag()
+    {
+        std::lock_guard<std::mutex> lock(mutex());
+        if (--users() == 0)
+            std::signal(SIGINT, savedPrev());
+    }
 
     ScopedSigintFlag(const ScopedSigintFlag&) = delete;
     ScopedSigintFlag& operator=(const ScopedSigintFlag&) = delete;
@@ -62,7 +75,26 @@ class ScopedSigintFlag
     static bool fired() { return g_interrupted != 0; }
 
   private:
-    void (*prev_)(int) = nullptr;
+    using Handler = void (*)(int);
+
+    static std::mutex&
+    mutex()
+    {
+        static std::mutex m;
+        return m;
+    }
+    static int&
+    users()
+    {
+        static int n = 0;
+        return n;
+    }
+    static Handler&
+    savedPrev()
+    {
+        static Handler h = nullptr;
+        return h;
+    }
 };
 
 } // namespace

@@ -75,6 +75,13 @@ void setQuiet(bool quiet);
  * status output instead of only silencing it. panic()/fatal() always
  * write to std::cerr. The caller keeps @p sink alive until it is
  * replaced or reset.
+ *
+ * Thread safety: the sink pointer and every write through it are
+ * serialized by an internal mutex, so concurrent sweep jobs cannot
+ * interleave partial lines or race a sink swap. The pointer is still
+ * process-global state — parallel experiment code should prefer
+ * per-job sinks (each SimJob's isolated TelemetryHub) and reserve
+ * setLogSink for single-run tools and tests.
  */
 void setLogSink(std::ostream* sink);
 

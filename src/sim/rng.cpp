@@ -6,9 +6,16 @@ namespace footprint {
 
 namespace {
 
-/** SplitMix64 step, used to expand a single seed into generator state. */
 std::uint64_t
-splitmix64(std::uint64_t& x)
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+splitmix64Step(std::uint64_t& x)
 {
     x += 0x9e3779b97f4a7c15ULL;
     std::uint64_t z = x;
@@ -18,18 +25,19 @@ splitmix64(std::uint64_t& x)
 }
 
 std::uint64_t
-rotl(std::uint64_t x, int k)
+deriveStreamSeed(std::uint64_t base, std::uint64_t stream)
 {
-    return (x << k) | (x >> (64 - k));
+    // Element `stream` of the SplitMix64 sequence seeded at `base`,
+    // computed in O(1) by jumping the additive state forward.
+    std::uint64_t x = base + stream * 0x9e3779b97f4a7c15ULL;
+    return splitmix64Step(x);
 }
-
-} // namespace
 
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t sm = seed;
     for (auto& s : s_)
-        s = splitmix64(sm);
+        s = splitmix64Step(sm);
     // All-zero state is the one invalid state for xoshiro.
     if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0)
         s_[0] = 1;

@@ -21,6 +21,25 @@ namespace footprint {
  * path for tie-breaking) and for a stable, implementation-independent
  * sequence across standard libraries.
  */
+/**
+ * One SplitMix64 step: advance @p state and return the next value of
+ * the sequence. The mixer behind Rng seeding and per-job seed
+ * derivation; exposed so every consumer shares one definition.
+ */
+std::uint64_t splitmix64Step(std::uint64_t& state);
+
+/**
+ * Seed of independent RNG stream @p stream derived from @p base: the
+ * @p stream-th element of the SplitMix64 sequence started at @p base.
+ * Distinct stream indices yield statistically independent seeds, and
+ * the value depends only on (base, stream) — never on which thread or
+ * in which order a stream is consumed. This is the determinism anchor
+ * of the parallel sweep engine: job k of a sweep always runs with
+ * deriveStreamSeed(base_seed, k).
+ */
+std::uint64_t deriveStreamSeed(std::uint64_t base,
+                               std::uint64_t stream);
+
 class Rng
 {
   public:

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exec/exec_context.hpp"
 #include "network/sweep.hpp"
 #include "sim/config.hpp"
 
@@ -87,6 +88,71 @@ TEST(SaturationThroughput, AdversePatternSaturatesEarlier)
     const double s_transpose =
         saturationThroughput(transpose, 3.0, 0.05);
     EXPECT_LT(s_transpose, s_uniform);
+}
+
+TEST(LatencyThroughputCurve, ParallelMatchesSequentialExactly)
+{
+    const std::vector<double> rates{0.05, 0.2, 0.35};
+    const auto seq = latencyThroughputCurve(tinyConfig(), rates);
+    ExecContext ctx(4);
+    const auto par = latencyThroughputCurve(tinyConfig(), rates, ctx);
+    ASSERT_EQ(par.size(), seq.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_DOUBLE_EQ(par[i].offered, seq[i].offered);
+        EXPECT_DOUBLE_EQ(par[i].accepted, seq[i].accepted);
+        EXPECT_DOUBLE_EQ(par[i].latency, seq[i].latency);
+        EXPECT_EQ(par[i].saturated, seq[i].saturated);
+    }
+}
+
+TEST(LatencyThroughputCurve, ParallelReplaysSaturationCarryForward)
+{
+    // Push the ladder deep into saturation so the sequential path
+    // exercises its "stop simulating after two saturated points"
+    // shortcut; the parallel path must reproduce the carried-forward
+    // points bit for bit.
+    SimConfig cfg = tinyConfig();
+    cfg.set("traffic", "transpose");
+    cfg.setInt("drain_cycles", 1200);
+    const std::vector<double> rates{0.1, 0.6, 0.7, 0.8, 0.9};
+    const auto seq = latencyThroughputCurve(cfg, rates);
+    ExecContext ctx(4);
+    const auto par = latencyThroughputCurve(cfg, rates, ctx);
+    ASSERT_EQ(par.size(), seq.size());
+    bool saw_saturated = false;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        saw_saturated = saw_saturated || seq[i].saturated;
+        EXPECT_DOUBLE_EQ(par[i].accepted, seq[i].accepted) << i;
+        EXPECT_DOUBLE_EQ(par[i].latency, seq[i].latency) << i;
+        EXPECT_EQ(par[i].saturated, seq[i].saturated) << i;
+    }
+    EXPECT_TRUE(saw_saturated)
+        << "test should cover the saturated regime";
+}
+
+TEST(SaturationThroughput, BracketSearchIsJobsInvariant)
+{
+    SimConfig cfg = tinyConfig();
+    cfg.setInt("drain_cycles", 1500);
+    ExecContext one(1);
+    ExecContext four(4);
+    const double s1 = saturationThroughput(cfg, one, 3.0, 0.02, 3);
+    const double s4 = saturationThroughput(cfg, four, 3.0, 0.02, 3);
+    EXPECT_DOUBLE_EQ(s1, s4);
+    // And the bracket result lands near the legacy bisection answer.
+    const double legacy = saturationThroughput(cfg, 3.0, 0.02);
+    EXPECT_NEAR(s1, legacy, 0.1);
+}
+
+TEST(SaturationThroughput, BracketOneMatchesLegacyBisection)
+{
+    SimConfig cfg = tinyConfig();
+    cfg.setInt("drain_cycles", 1500);
+    ExecContext ctx(2);
+    const double bracketed =
+        saturationThroughput(cfg, ctx, 3.0, 0.02, 1);
+    const double legacy = saturationThroughput(cfg, 3.0, 0.02);
+    EXPECT_DOUBLE_EQ(bracketed, legacy);
 }
 
 TEST(FormatCurve, ContainsLabelAndNumbers)

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the execution engine's ThreadPool and ExecContext: FIFO
+ * task ordering, exception propagation through futures and map(),
+ * drain-on-shutdown under load, and result ordering independent of
+ * worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/exec_context.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace footprint {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsValues)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    auto f1 = pool.submit([]() { return 41 + 1; });
+    auto f2 = pool.submit([]() { return std::string("done"); });
+    EXPECT_EQ(f1.get(), 42);
+    EXPECT_EQ(f2.get(), "done");
+}
+
+TEST(ThreadPool, SingleWorkerPreservesSubmissionOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> done;
+    for (int i = 0; i < 64; ++i) {
+        done.push_back(
+            pool.submit([&order, i]() { order.push_back(i); }));
+    }
+    for (auto& f : done)
+        f.get();
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([]() { return 7; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    EXPECT_EQ(pool.submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks)
+{
+    std::atomic<int> completed{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 200; ++i) {
+            pool.post([&completed]() {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(50));
+                completed.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        // Destructor must run every task submitted before shutdown.
+    }
+    EXPECT_EQ(completed.load(), 200);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+    EXPECT_EQ(pool.size(), ThreadPool::hardwareThreads());
+}
+
+TEST(ExecContext, MapReturnsResultsInTaskOrder)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        ExecContext ctx(jobs);
+        std::vector<std::function<int()>> tasks;
+        for (int i = 0; i < 32; ++i)
+            tasks.push_back([i]() { return i * i; });
+        const std::vector<int> out = ctx.map(std::move(tasks));
+        ASSERT_EQ(out.size(), 32u) << "jobs=" << jobs;
+        for (int i = 0; i < 32; ++i)
+            EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+    }
+}
+
+TEST(ExecContext, MapFinishesAllTasksBeforeRethrowing)
+{
+    ExecContext ctx(4);
+    std::atomic<int> ran{0};
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+        tasks.push_back([&ran, i]() -> int {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            if (i == 3)
+                throw std::runtime_error("task 3 failed");
+            return i;
+        });
+    }
+    EXPECT_THROW(ctx.map(std::move(tasks)), std::runtime_error);
+    // No task is abandoned: every job completed despite the failure.
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ExecContext, SequentialContextRunsInline)
+{
+    ExecContext& ctx = ExecContext::sequential();
+    EXPECT_EQ(ctx.jobs(), 1u);
+    EXPECT_FALSE(ctx.parallel());
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::function<std::thread::id()>> tasks;
+    tasks.push_back([]() { return std::this_thread::get_id(); });
+    EXPECT_EQ(ctx.map(std::move(tasks)).front(), caller);
+}
+
+} // namespace
+} // namespace footprint

@@ -1,0 +1,315 @@
+#!/usr/bin/env python3
+"""Validate and gate footprint.bench/1 benchmark artifacts.
+
+Two modes:
+
+1. Baseline gate (default) — validate a bench_results.json produced by
+   the sweep runner against the schema, then compare its per-cell
+   saturation throughput and jobs/sec against a recorded baseline:
+
+       check_bench_regression.py bench_results.json \
+           --baseline bench/micro_baseline.json
+
+   The baseline file holds the reference under a "sweep_baseline" key
+   (so the same file can carry the micro-benchmark baseline used by
+   check_telemetry_overhead.py). Saturation throughput drifting more
+   than --max-sat-drift percent from the baseline in either direction
+   fails the gate: simulation results are deterministic, so any drift
+   is a behavioural change, not noise. jobs/sec is machine-dependent
+   and only gates on *regression* beyond --max-speed-regress percent.
+
+2. Determinism compare (--compare) — require two or more artifacts to
+   be byte-identical after removing the "timing" object (the only
+   section allowed to depend on thread count, schedule, or wall
+   clock):
+
+       check_bench_regression.py --compare j1.json j4.json j8.json
+
+Exit status is 0 when every check passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "footprint.bench/1"
+
+RESULT_FIELDS = {
+    "job": int,
+    "mesh": str,
+    "routing": str,
+    "traffic": str,
+    "replicate": int,
+    "probe": bool,
+    "seed": int,
+    "offered": (int, float),
+    "accepted": (int, float),
+    "latency": (int, float),
+    "p50": (int, float),
+    "p99": (int, float),
+    "hops": (int, float),
+    "cycles": int,
+    "drained": bool,
+    "saturated": bool,
+    "stall": str,
+}
+
+SATURATION_FIELDS = {
+    "mesh": str,
+    "routing": str,
+    "traffic": str,
+    "throughput": (int, float),
+    "zero_load_latency": (int, float),
+}
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: {exc}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top-level value must be an object")
+    return doc
+
+
+def check_fields(path: str, where: str, entry: dict, spec: dict) -> None:
+    for key, types in spec.items():
+        if key not in entry:
+            fail(f"{path}: {where} missing field '{key}'")
+        if not isinstance(entry[key], types):
+            fail(
+                f"{path}: {where} field '{key}' has type "
+                f"{type(entry[key]).__name__}"
+            )
+    # bool is an int subclass in Python; keep int fields strictly int.
+    for key, types in spec.items():
+        if types is int and isinstance(entry[key], bool):
+            fail(f"{path}: {where} field '{key}' must be an integer")
+
+
+def validate(path: str, doc: dict) -> None:
+    """Validate a document against the footprint.bench/1 schema."""
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want '{SCHEMA}'")
+    for key in ("run", "sweep", "results", "saturation"):
+        if key not in doc:
+            fail(f"{path}: missing top-level key '{key}'")
+
+    run = doc["run"]
+    for key in ("git", "config_hash", "base_seed", "total_jobs"):
+        if key not in run:
+            fail(f"{path}: run missing field '{key}'")
+    if run["total_jobs"] != len(doc["results"]):
+        fail(
+            f"{path}: run.total_jobs={run['total_jobs']} but results "
+            f"has {len(doc['results'])} entries"
+        )
+
+    sweep = doc["sweep"]
+    for key in ("rates", "routings", "meshes", "traffics", "seeds"):
+        if key not in sweep:
+            fail(f"{path}: sweep missing field '{key}'")
+
+    for i, entry in enumerate(doc["results"]):
+        check_fields(path, f"results[{i}]", entry, RESULT_FIELDS)
+    seeds = [e["seed"] for e in doc["results"]]
+    if len(set(seeds)) != len(seeds):
+        fail(f"{path}: job seeds are not unique")
+
+    for i, entry in enumerate(doc["saturation"]):
+        check_fields(path, f"saturation[{i}]", entry, SATURATION_FIELDS)
+    expected_cells = (
+        len(sweep["meshes"]) * len(sweep["routings"]) * len(sweep["traffics"])
+    )
+    if len(doc["saturation"]) != expected_cells:
+        fail(
+            f"{path}: saturation has {len(doc['saturation'])} entries, "
+            f"want {expected_cells} (meshes x routings x traffics)"
+        )
+
+    if "timing" in doc:
+        timing = doc["timing"]
+        for key in ("jobs", "wall_seconds", "jobs_per_sec"):
+            if key not in timing:
+                fail(f"{path}: timing missing field '{key}'")
+    print(
+        f"OK: {path}: valid {SCHEMA} document "
+        f"({len(doc['results'])} results, "
+        f"{len(doc['saturation'])} saturation cells)"
+    )
+
+
+def canonical(doc: dict) -> str:
+    """Serialize a document with timing metadata removed."""
+    stripped = {k: v for k, v in doc.items() if k != "timing"}
+    return json.dumps(stripped, sort_keys=True, indent=1)
+
+
+def compare_mode(paths: list[str]) -> None:
+    docs = [load(p) for p in paths]
+    for path, doc in zip(paths, docs):
+        validate(path, doc)
+    reference = canonical(docs[0])
+    for path, doc in zip(paths[1:], docs[1:]):
+        if canonical(doc) != reference:
+            # Locate the first differing section for the error message.
+            ref_doc = {k: v for k, v in docs[0].items() if k != "timing"}
+            new_doc = {k: v for k, v in doc.items() if k != "timing"}
+            for key in sorted(set(ref_doc) | set(new_doc)):
+                if ref_doc.get(key) != new_doc.get(key):
+                    fail(
+                        f"{path} differs from {paths[0]} in section "
+                        f"'{key}' (payloads must be identical modulo "
+                        f"'timing')"
+                    )
+            fail(f"{path} differs from {paths[0]}")
+    print(
+        f"OK: {len(paths)} artifacts are identical modulo timing "
+        f"metadata"
+    )
+
+
+def cell_key(entry: dict) -> tuple:
+    return (entry["mesh"], entry["routing"], entry["traffic"])
+
+
+def baseline_mode(args: argparse.Namespace) -> None:
+    doc = load(args.results)
+    validate(args.results, doc)
+    if args.baseline is None:
+        return
+
+    base_doc = load(args.baseline)
+    baseline = base_doc.get(args.baseline_key)
+    if baseline is None:
+        fail(f"{args.baseline}: missing key '{args.baseline_key}'")
+
+    base_cells = {cell_key(e): e for e in baseline.get("saturation", [])}
+    new_cells = {cell_key(e): e for e in doc["saturation"]}
+    if set(base_cells) != set(new_cells):
+        missing = set(base_cells) - set(new_cells)
+        extra = set(new_cells) - set(base_cells)
+        fail(
+            f"saturation cells differ from baseline "
+            f"(missing={sorted(missing)}, extra={sorted(extra)}) — "
+            f"re-record the baseline if the pinned sweep changed"
+        )
+
+    print(
+        f"\n{'mesh':>8} {'routing':>12} {'traffic':>10} "
+        f"{'baseline':>10} {'current':>10} {'drift':>8}"
+    )
+    worst = 0.0
+    failures = []
+    for key in sorted(base_cells):
+        ref = base_cells[key]["throughput"]
+        cur = new_cells[key]["throughput"]
+        drift = 100.0 * (cur - ref) / ref if ref else float("inf")
+        worst = max(worst, abs(drift))
+        mark = ""
+        if abs(drift) > args.max_sat_drift:
+            mark = "  <-- FAIL"
+            failures.append(
+                f"{'/'.join(key)}: saturation {ref:.4f} -> {cur:.4f} "
+                f"({drift:+.1f}% > {args.max_sat_drift:.1f}%)"
+            )
+        print(
+            f"{key[0]:>8} {key[1]:>12} {key[2]:>10} "
+            f"{ref:>10.4f} {cur:>10.4f} {drift:>+7.1f}%{mark}"
+        )
+    print(
+        f"\nworst saturation drift: {worst:.2f}% "
+        f"(threshold {args.max_sat_drift:.1f}%)"
+    )
+
+    base_speed = baseline.get("jobs_per_sec")
+    cur_speed = doc.get("timing", {}).get("jobs_per_sec")
+    if base_speed and cur_speed:
+        regress = 100.0 * (base_speed - cur_speed) / base_speed
+        print(
+            f"throughput: baseline {base_speed:.2f} jobs/s, current "
+            f"{cur_speed:.2f} jobs/s ({-regress:+.1f}%)"
+        )
+        if regress > args.max_speed_regress:
+            failures.append(
+                f"jobs/sec regressed {regress:.1f}% "
+                f"(> {args.max_speed_regress:.1f}%)"
+            )
+    elif base_speed:
+        print(
+            "note: results lack timing.jobs_per_sec; skipping speed "
+            "gate"
+        )
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        sys.exit(1)
+    print("OK: within baseline thresholds")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "results",
+        nargs="?",
+        help="bench_results.json to validate and gate",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="baseline JSON file (e.g. bench/micro_baseline.json); "
+        "omit to only validate the schema",
+    )
+    parser.add_argument(
+        "--baseline-key",
+        default="sweep_baseline",
+        help="key holding the sweep baseline inside the baseline file",
+    )
+    parser.add_argument(
+        "--max-sat-drift",
+        type=float,
+        default=5.0,
+        help="max allowed saturation drift in percent, either "
+        "direction (default 5)",
+    )
+    parser.add_argument(
+        "--max-speed-regress",
+        type=float,
+        default=20.0,
+        help="max allowed jobs/sec regression in percent (default 20)",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs="+",
+        metavar="FILE",
+        help="determinism mode: require all FILEs to be identical "
+        "after stripping the 'timing' object",
+    )
+    args = parser.parse_args()
+
+    if args.compare:
+        if args.results:
+            args.compare.insert(0, args.results)
+        if len(args.compare) < 2:
+            parser.error("--compare needs at least two files")
+        compare_mode(args.compare)
+    elif args.results:
+        baseline_mode(args)
+    else:
+        parser.error("give a results file or --compare FILE FILE...")
+
+
+if __name__ == "__main__":
+    main()

@@ -97,10 +97,14 @@ def main():
           % (overhead, args.threshold))
 
     if args.record:
-        payload = {
-            "context": report.get("context", {}),
-            "times_ns": {BARE: bare, IDLE: idle},
-        }
+        # Preserve unrelated sections (e.g. the sweep_baseline used by
+        # check_bench_regression.py) when re-recording the micro times.
+        payload = {}
+        if os.path.exists(args.baseline):
+            with open(args.baseline) as f:
+                payload = json.load(f)
+        payload["context"] = report.get("context", {})
+        payload["times_ns"] = {BARE: bare, IDLE: idle}
         with open(args.baseline, "w") as f:
             json.dump(payload, f, indent=2, sort_keys=True)
             f.write("\n")
