@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Whole-network cycles/sec microbench and stepping-equivalence check.
+ *
+ * Runs an 8x8 mesh at three operating points (idle, low load, past
+ * saturation) under each of the four main routing algorithms, once
+ * with step_mode=full and once with step_mode=activity, and:
+ *
+ *  - requires the two modes to produce bit-identical results (an
+ *    FNV-1a checksum over every router counter, the network totals,
+ *    and the drained-packet stream), and
+ *  - reports cycles/sec for both modes, so the CI gate
+ *    (tools/check_bench_regression.py --micro) can pin the checksums
+ *    exactly and watch throughput for regressions.
+ *
+ * Usage: micro_cycle [--cycles N] [--out FILE]
+ *
+ * The JSON artifact is a footprint.bench/1 document with
+ * kind="micro_cycle". Checksums are load-, seed-, and
+ * algorithm-dependent but machine-independent; wall-clock fields are
+ * the only machine-dependent values.
+ */
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+#include "sim/config.hpp"
+#include "sim/log.hpp"
+#include "sim/rng.hpp"
+
+namespace footprint {
+namespace {
+
+struct OperatingPoint
+{
+    const char* name;
+    double load;
+};
+
+constexpr OperatingPoint kPoints[] = {
+    {"idle", 0.0},
+    {"low", 0.10},
+    {"sat", 0.45},
+};
+
+constexpr const char* kRoutings[] = {"dor", "oddeven", "dbar",
+                                     "footprint"};
+
+constexpr int kNodes = 64;
+constexpr std::uint64_t kSeed = 7;
+
+/** One (operating point, routing, step mode) measurement. */
+struct RunOutcome
+{
+    std::uint64_t checksum = 0;
+    double wallSeconds = 0.0;
+};
+
+class Fnv1a
+{
+  public:
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            hash_ ^= (v >> (8 * i)) & 0xffu;
+            hash_ *= 1099511628211ULL;
+        }
+    }
+
+    void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+RunOutcome
+runOne(const std::string& routing, double load, std::int64_t cycles,
+       const char* step_mode)
+{
+    SimConfig cfg = defaultConfig();
+    cfg.set("routing", routing);
+    cfg.set("step_mode", step_mode);
+    Network net(cfg);
+
+    Rng gen(kSeed);
+    std::uint64_t id = 0;
+    std::uint64_t drained = 0;
+    std::uint64_t hops_sum = 0;
+    std::uint64_t create_sum = 0;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::int64_t cycle = 0; cycle < cycles; ++cycle) {
+        if (load > 0.0) {
+            for (int n = 0; n < kNodes; ++n) {
+                if (gen.nextBool(load)) {
+                    Packet p;
+                    p.id = ++id;
+                    p.src = n;
+                    p.dest = static_cast<int>(
+                        gen.nextBounded(kNodes));
+                    if (p.dest == n)
+                        continue;
+                    p.size = 1;
+                    p.createTime = cycle;
+                    net.endpoint(n).enqueue(p);
+                }
+            }
+        }
+        net.step(cycle);
+        for (int n = 0; n < kNodes; ++n) {
+            for (const EjectedPacket& p :
+                 net.endpoint(n).drainEjected()) {
+                ++drained;
+                hops_sum += static_cast<std::uint64_t>(p.hops);
+                create_sum +=
+                    static_cast<std::uint64_t>(p.createTime);
+            }
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    Fnv1a sum;
+    sum.mix(net.totalFlitsInjected());
+    sum.mix(net.totalFlitsEjected());
+    sum.mix(static_cast<std::uint64_t>(net.totalFlitsInFlight()));
+    sum.mix(net.totalFlitsSent());
+    sum.mix(drained);
+    sum.mix(hops_sum);
+    sum.mix(create_sum);
+    for (int n = 0; n < kNodes; ++n) {
+        const Router::Counters& c = net.router(n).counters();
+        sum.mix(c.vcAllocSuccess);
+        sum.mix(c.vcAllocFail);
+        sum.mix(c.flitsTraversed);
+        sum.mix(c.puritySamples);
+        sum.mix(c.puritySum);
+    }
+
+    RunOutcome out;
+    out.checksum = sum.value();
+    out.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return out;
+}
+
+struct ResultRow
+{
+    std::string name;
+    std::string routing;
+    double load = 0.0;
+    std::int64_t cycles = 0;
+    double wallSeconds = 0.0;       ///< activity mode
+    double cyclesPerSec = 0.0;      ///< activity mode
+    double fullCyclesPerSec = 0.0;  ///< full (reference) mode
+    std::uint64_t checksum = 0;
+};
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+void
+writeJson(std::ostream& os, const std::vector<ResultRow>& rows,
+          std::int64_t cycles)
+{
+    os << "{\"schema\":\"footprint.bench/1\",\"kind\":\"micro_cycle\""
+       << ",\"run\":{\"mesh\":\"8x8\",\"seed\":" << kSeed
+       << ",\"cycles\":" << cycles << "},\"results\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ResultRow& r = rows[i];
+        if (i > 0)
+            os << ',';
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"name\":\"%s\",\"routing\":\"%s\",\"load\":%.2f,"
+            "\"cycles\":%lld,\"wall_seconds\":%.6f,"
+            "\"cycles_per_sec\":%.1f,\"full_cycles_per_sec\":%.1f,"
+            "\"speedup\":%.3f,\"checksum\":\"%s\"}",
+            r.name.c_str(), r.routing.c_str(), r.load,
+            static_cast<long long>(r.cycles), r.wallSeconds,
+            r.cyclesPerSec, r.fullCyclesPerSec,
+            r.fullCyclesPerSec > 0.0
+                ? r.cyclesPerSec / r.fullCyclesPerSec
+                : 0.0,
+            hex64(r.checksum).c_str());
+        os << buf;
+    }
+    os << "]}\n";
+}
+
+int
+run(int argc, char** argv)
+{
+    std::int64_t cycles = 5000;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
+            cycles = std::atoll(argv[++i]);
+        } else if (std::strcmp(argv[i], "--out") == 0
+                   && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: micro_cycle [--cycles N] "
+                         "[--out FILE]\n");
+            return 2;
+        }
+    }
+
+    setQuiet(true);
+    std::vector<ResultRow> rows;
+    std::printf("%-16s %12s %12s %8s  %s\n", "config",
+                "full c/s", "activity c/s", "speedup", "checksum");
+    for (const OperatingPoint& pt : kPoints) {
+        for (const char* routing : kRoutings) {
+            const RunOutcome full =
+                runOne(routing, pt.load, cycles, "full");
+            const RunOutcome act =
+                runOne(routing, pt.load, cycles, "activity");
+            if (full.checksum != act.checksum) {
+                std::fprintf(
+                    stderr,
+                    "FAIL: %s/%s: activity stepping diverged from "
+                    "full stepping (checksum %s vs %s)\n",
+                    pt.name, routing,
+                    hex64(act.checksum).c_str(),
+                    hex64(full.checksum).c_str());
+                return 1;
+            }
+            ResultRow row;
+            row.name = std::string(pt.name) + "/" + routing;
+            row.routing = routing;
+            row.load = pt.load;
+            row.cycles = cycles;
+            row.wallSeconds = act.wallSeconds;
+            row.cyclesPerSec =
+                act.wallSeconds > 0.0
+                    ? static_cast<double>(cycles) / act.wallSeconds
+                    : 0.0;
+            row.fullCyclesPerSec =
+                full.wallSeconds > 0.0
+                    ? static_cast<double>(cycles) / full.wallSeconds
+                    : 0.0;
+            row.checksum = act.checksum;
+            std::printf("%-16s %12.0f %12.0f %7.2fx  %s\n",
+                        row.name.c_str(), row.fullCyclesPerSec,
+                        row.cyclesPerSec,
+                        row.fullCyclesPerSec > 0.0
+                            ? row.cyclesPerSec / row.fullCyclesPerSec
+                            : 0.0,
+                        hex64(row.checksum).c_str());
+            rows.push_back(std::move(row));
+        }
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        if (!os) {
+            std::fprintf(stderr, "FAIL: cannot open %s\n",
+                         out_path.c_str());
+            return 1;
+        }
+        writeJson(os, rows, cycles);
+        std::printf("wrote %s\n", out_path.c_str());
+    } else {
+        writeJson(std::cout, rows, cycles);
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace footprint
+
+int
+main(int argc, char** argv)
+{
+    return footprint::run(argc, argv);
+}

@@ -1,18 +1,23 @@
 #include "network/endpoint.hpp"
 
+#include "sim/active_set.hpp"
 #include "obs/packet_tracer.hpp"
 #include "sim/log.hpp"
 
 namespace footprint {
 
 Endpoint::Endpoint(int node, const EndpointParams& params,
-                   std::uint64_t seed)
+                   std::uint64_t seed, PacketPool* pool)
     : node_(node), params_(params),
-      rng_(seed * 0xabcdef1234567ULL + static_cast<std::uint64_t>(node))
+      rng_(seed * 0xabcdef1234567ULL + static_cast<std::uint64_t>(node)),
+      pool_(pool)
 {
+    FP_ASSERT(pool_ != nullptr, "endpoint needs a packet pool");
     injectVcs_.assign(static_cast<std::size_t>(params.numVcs),
                       OutVcState(params.vcBufSize));
     sinkVcs_.resize(static_cast<std::size_t>(params.numVcs));
+    for (auto& buf : sinkVcs_)
+        buf.reset(static_cast<std::size_t>(params.vcBufSize));
 }
 
 void
@@ -32,6 +37,10 @@ Endpoint::enqueue(const Packet& packet)
 {
     FP_ASSERT(packet.src == node_, "packet enqueued at wrong endpoint");
     sourceQueue_.push_back(packet);
+    // Traffic is generated outside the step loop, so an otherwise
+    // quiescent endpoint must register itself for the next cycle.
+    if (wakeSet_)
+        wakeSet_->wake(wakeComp_);
 }
 
 void
@@ -53,6 +62,7 @@ Endpoint::receivePhase(std::int64_t cycle)
             FP_ASSERT(static_cast<int>(buf.size()) < params_.vcBufSize,
                       "sink VC buffer overflow");
             buf.push_back(*f);
+            ++sinkFlits_;
         }
     }
 }
@@ -71,6 +81,7 @@ Endpoint::startNextPacket()
         if (state.allocatable(params_.atomicVcAlloc)) {
             current_ = sourceQueue_.front();
             sourceQueue_.pop_front();
+            currentDesc_ = pool_->alloc(current_);
             state.allocate(current_.dest);
             currentVc_ = vc;
             cursor_ = 0;
@@ -92,9 +103,10 @@ Endpoint::computePhase(std::int64_t cycle)
         OutVcState& state =
             injectVcs_[static_cast<std::size_t>(currentVc_)];
         if (state.credits() > 0 && toRouter_) {
-            Flit f = makeFlit(current_, cursor_);
-            f.vc = currentVc_;
-            f.injectTime = cycle;
+            Flit f = makeFlit(current_, cursor_, currentDesc_);
+            f.vc = static_cast<std::int16_t>(currentVc_);
+            if (cursor_ == 0)
+                pool_->get(currentDesc_).injectTime = cycle;
             state.consumeCredit();
             toRouter_->send(f, cycle);
             ++flitsInjected_;
@@ -124,23 +136,28 @@ Endpoint::computePhase(std::int64_t cycle)
         auto& buf = sinkVcs_[static_cast<std::size_t>(picked)];
         const Flit f = buf.front();
         buf.pop_front();
+        --sinkFlits_;
         ++flitsEjected_;
         if (creditToRouter_)
             creditToRouter_->send(Credit{picked}, cycle);
         if (f.tail) {
             if (tracer_ && tracer_->traced(f.packetId))
                 tracer_->onEject(f, node_, cycle);
+            const PacketDescriptor& d = pool_->get(f.desc);
             EjectedPacket p;
             p.packetId = f.packetId;
             p.src = f.src;
             p.dest = f.dest;
-            p.size = f.packetSize;
-            p.createTime = f.createTime;
+            p.size = d.packetSize;
+            p.createTime = d.createTime;
             p.ejectTime = cycle;
             p.hops = f.hops;
-            p.flowClass = f.flowClass;
-            p.measured = f.measured;
+            p.flowClass = d.flowClass;
+            p.measured = d.measured;
             ejected_.push_back(p);
+            // The tail has left the network: the packet's descriptor
+            // slot can be recycled.
+            pool_->release(f.desc);
         }
     }
 }
@@ -167,10 +184,19 @@ Endpoint::sourceBacklogFlits() const
 int
 Endpoint::sinkBufferedFlits() const
 {
-    int total = 0;
-    for (const auto& buf : sinkVcs_)
-        total += static_cast<int>(buf.size());
-    return total;
+    return sinkFlits_;
+}
+
+bool
+Endpoint::hasPendingWork() const
+{
+    if (injecting_ || !sourceQueue_.empty() || sinkFlits_ > 0)
+        return true;
+    if (fromRouter_ && !fromRouter_->empty())
+        return true;
+    if (creditFromRouter_ && !creditFromRouter_->empty())
+        return true;
+    return false;
 }
 
 } // namespace footprint

@@ -15,11 +15,14 @@
 #include <vector>
 
 #include "router/channel.hpp"
+#include "router/packet_pool.hpp"
 #include "router/vc_state.hpp"
+#include "sim/ring_buffer.hpp"
 #include "sim/rng.hpp"
 
 namespace footprint {
 
+class ActiveSet;
 class PacketTracer;
 
 /** A completed (fully ejected) packet, for statistics collection. */
@@ -53,7 +56,13 @@ struct EndpointParams
 class Endpoint
 {
   public:
-    Endpoint(int node, const EndpointParams& params, std::uint64_t seed);
+    /**
+     * @param pool descriptor pool shared by every endpoint of the
+     *        network; holds the per-packet constants of in-flight
+     *        packets (allocated at injection, released at ejection).
+     */
+    Endpoint(int node, const EndpointParams& params, std::uint64_t seed,
+             PacketPool* pool);
 
     /**
      * Wire the endpoint to its router's local port.
@@ -72,6 +81,27 @@ class Endpoint
 
     void receivePhase(std::int64_t cycle);
     void computePhase(std::int64_t cycle);
+
+    /**
+     * Register this endpoint on @p set (as component @p comp) whenever
+     * work arrives from outside the step loop (enqueue). Unset by
+     * default: endpoints used standalone never touch an active list.
+     */
+    void
+    setWakeHook(ActiveSet* set, int comp)
+    {
+        wakeSet_ = set;
+        wakeComp_ = comp;
+    }
+
+    /**
+     * True when stepping this endpoint next cycle could change state:
+     * a packet mid-injection or queued, flits buffered in the sink, or
+     * anything in flight on the incoming flit/credit pipes. Quiescent
+     * endpoints are observationally inert, mirroring
+     * Router::hasPendingWork().
+     */
+    bool hasPendingWork() const;
 
     /** Packets fully ejected since the last call (caller consumes). */
     std::vector<EjectedPacket> drainEjected();
@@ -126,6 +156,9 @@ class Endpoint
     int node_;
     EndpointParams params_;
     Rng rng_;
+    PacketPool* pool_;
+    ActiveSet* wakeSet_ = nullptr;
+    int wakeComp_ = -1;
 
     // Source side.
     FlitChannel* toRouter_ = nullptr;
@@ -134,6 +167,7 @@ class Endpoint
     std::vector<OutVcState> injectVcs_;  ///< router local-input VC view
     bool injecting_ = false;
     Packet current_;
+    std::uint32_t currentDesc_ = 0;  ///< pool slot of current_
     int cursor_ = 0;
     int currentVc_ = -1;
     int nextVcHint_ = 0;
@@ -141,7 +175,8 @@ class Endpoint
     // Sink side.
     FlitChannel* fromRouter_ = nullptr;
     CreditChannel* creditToRouter_ = nullptr;
-    std::vector<std::deque<Flit>> sinkVcs_;
+    std::vector<RingBuffer<Flit>> sinkVcs_;
+    int sinkFlits_ = 0;  ///< total flits across sink VCs
     int drainHint_ = 0;
     std::vector<EjectedPacket> ejected_;
 

@@ -8,27 +8,20 @@ namespace footprint {
 void
 StatusBoard::init(int num_nodes)
 {
-    front_.assign(static_cast<std::size_t>(num_nodes), {});
-    back_.assign(static_cast<std::size_t>(num_nodes), {});
+    counts_.assign(static_cast<std::size_t>(num_nodes), {});
 }
 
 void
 StatusBoard::publish(int node, int port, int count)
 {
-    back_.at(static_cast<std::size_t>(node))
+    counts_.at(static_cast<std::size_t>(node))
         .at(static_cast<std::size_t>(port)) = count;
-}
-
-void
-StatusBoard::flip()
-{
-    front_.swap(back_);
 }
 
 int
 StatusBoard::idleCount(int node, int port) const
 {
-    return front_.at(static_cast<std::size_t>(node))
+    return counts_.at(static_cast<std::size_t>(node))
         .at(static_cast<std::size_t>(port));
 }
 
@@ -61,6 +54,21 @@ Network::Network(const SimConfig& cfg)
     if (routing_->numEscapeVcs() >= params_.numVcs)
         fatal("routing algorithm needs more VCs than configured");
 
+    const std::string mode =
+        cfg.contains("step_mode") ? cfg.getStr("step_mode") : "activity";
+    if (mode == "activity")
+        stepMode_ = StepMode::Activity;
+    else if (mode == "full")
+        stepMode_ = StepMode::Full;
+    else if (mode == "verify")
+        stepMode_ = StepMode::Verify;
+    else {
+        std::string msg = "unknown step_mode '";
+        msg += mode;
+        msg += "' (want activity, full, or verify)";
+        fatal(msg);
+    }
+
     const int n = mesh_.numNodes();
     const auto seed = static_cast<std::uint64_t>(cfg.getInt("seed"));
     const int link_latency = static_cast<int>(cfg.getInt("link_latency"));
@@ -80,7 +88,8 @@ Network::Network(const SimConfig& cfg)
         routers_.push_back(std::make_unique<Router>(
             mesh_, node, params_, routing_.get(), seed, &status_));
         endpoints_.push_back(
-            std::make_unique<Endpoint>(node, ep, seed));
+            std::make_unique<Endpoint>(node, ep, seed, &pool_));
+        endpoints_.back()->setWakeHook(&active_, endpointComp(node));
     }
 
     // Inter-router links: for each node, wire East and North links (the
@@ -132,28 +141,153 @@ Network::Network(const SimConfig& cfg)
         links_.push_back({LinkRecord::Kind::RouterToEndpoint, node,
                           portOf(Dir::Local), node, -1, ej, ej_credit});
     }
+
+    buildWakeGraph();
+}
+
+void
+Network::buildWakeGraph()
+{
+    const int comps = 2 * mesh_.numNodes();
+    active_.init(comps);
+    for (const LinkRecord& l : links_) {
+        int flit_src = -1;
+        int flit_dst = -1;
+        switch (l.kind) {
+        case LinkRecord::Kind::RouterToRouter:
+            flit_src = routerComp(l.srcNode);
+            flit_dst = routerComp(l.dstNode);
+            break;
+        case LinkRecord::Kind::RouterToEndpoint:
+            flit_src = routerComp(l.srcNode);
+            flit_dst = endpointComp(l.dstNode);
+            break;
+        case LinkRecord::Kind::EndpointToRouter:
+            flit_src = endpointComp(l.srcNode);
+            flit_dst = routerComp(l.dstNode);
+            break;
+        }
+        // Sending into a pipe wakes its receiver for the next cycle;
+        // credits travel against the flit direction (the flit receiver
+        // sends them, the flit sender consumes them).
+        l.flit->setWakeHook(&active_, flit_dst);
+        l.credit->setWakeHook(&active_, flit_src);
+    }
+
+    fullOrder_.resize(static_cast<std::size_t>(comps));
+    for (int c = 0; c < comps; ++c)
+        fullOrder_[static_cast<std::size_t>(c)] = c;
+    verifyMark_.assign(static_cast<std::size_t>(comps), 0);
+}
+
+bool
+Network::componentHasPendingWork(int comp) const
+{
+    const std::size_t node = idx(comp >> 1);
+    return (comp & 1) ? endpoints_[node]->hasPendingWork()
+                      : routers_[node]->hasPendingWork();
+}
+
+void
+Network::stepPhases(const std::vector<int>& comps, std::int64_t cycle)
+{
+    // Each phase is a barrier over the whole list, exactly as full
+    // stepping runs them; comps is sorted, so the visit order within a
+    // phase matches full stepping's node order too.
+    for (const int c : comps) {
+        if (c & 1)
+            endpoints_[idx(c >> 1)]->receivePhase(cycle);
+        else
+            routers_[idx(c >> 1)]->receivePhase(cycle);
+    }
+    for (const int c : comps) {
+        if (c & 1)
+            endpoints_[idx(c >> 1)]->computePhase(cycle);
+        else
+            routers_[idx(c >> 1)]->computePhase(cycle);
+    }
+    for (const int c : comps) {
+        if (c & 1)
+            continue;
+        const int node = c >> 1;
+        Router& r = *routers_[idx(node)];
+        r.transmitPhase(cycle);
+        // Publishes happen strictly after every compute-phase read of
+        // the board this cycle, so readers always see last cycle's
+        // values (the one-cycle status delay) without double
+        // buffering. Skipped routers' counts are unchanged, hence
+        // already current.
+        for (int port = 0; port < kNumPorts; ++port)
+            status_.publish(node, port, r.idleVcCount(port));
+    }
+}
+
+void
+Network::rescheduleAfterStep(const std::vector<int>& comps)
+{
+    // Wakes from sends were raised by the channel hooks as they
+    // happened; all that remains is self-sustain: a component with
+    // buffered flits, pending injection, or a non-empty incoming pipe
+    // must run again next cycle (an incoming pipe stays non-empty
+    // until its latency elapses, so the initial send-hook wake hands
+    // off to this check for the rest of the window).
+    for (const int c : comps) {
+        if (componentHasPendingWork(c))
+            active_.wake(c);
+    }
+}
+
+void
+Network::stepActivity(std::int64_t cycle, bool contiguous)
+{
+    // The first step (and any cycle jump) is a full step: it seeds the
+    // status board and the wake graph from the complete state.
+    if (!contiguous)
+        active_.wakeAll();
+    const std::vector<int>& act = active_.beginCycle();
+    stepPhases(act, cycle);
+    rescheduleAfterStep(act);
+}
+
+void
+Network::stepVerify(std::int64_t cycle, bool contiguous)
+{
+    if (!contiguous)
+        active_.wakeAll();
+    const std::vector<int>& act = active_.beginCycle();
+    for (const int c : act)
+        verifyMark_[static_cast<std::size_t>(c)] = 1;
+    for (const int c : fullOrder_) {
+        if (verifyMark_[static_cast<std::size_t>(c)]) {
+            verifyMark_[static_cast<std::size_t>(c)] = 0;
+            continue;
+        }
+        FP_ASSERT(!componentHasPendingWork(c),
+                  "activity stepping would skip "
+                      << ((c & 1) ? "endpoint " : "router ") << (c >> 1)
+                      << " with pending work at cycle " << cycle
+                      << " (missed wakeup)");
+    }
+    // Step everything; quiescent components are no-ops, so this is
+    // the same cycle the active list would have produced.
+    stepPhases(fullOrder_, cycle);
+    rescheduleAfterStep(fullOrder_);
 }
 
 void
 Network::step(std::int64_t cycle)
 {
-    const int n = mesh_.numNodes();
-    for (int node = 0; node < n; ++node) {
-        routers_[idx(node)]->receivePhase(cycle);
-        endpoints_[idx(node)]->receivePhase(cycle);
+    if (stepMode_ == StepMode::Full) {
+        stepPhases(fullOrder_, cycle);
+        return;
     }
-    for (int node = 0; node < n; ++node) {
-        routers_[idx(node)]->computePhase(cycle);
-        endpoints_[idx(node)]->computePhase(cycle);
-    }
-    for (int node = 0; node < n; ++node) {
-        routers_[idx(node)]->transmitPhase(cycle);
-        for (int port = 0; port < kNumPorts; ++port) {
-            status_.publish(node, port,
-                            routers_[idx(node)]->idleVcCount(port));
-        }
-    }
-    status_.flip();
+    const bool contiguous = haveStepped_ && cycle == lastCycle_ + 1;
+    lastCycle_ = cycle;
+    haveStepped_ = true;
+    if (stepMode_ == StepMode::Verify)
+        stepVerify(cycle, contiguous);
+    else
+        stepActivity(cycle, contiguous);
 }
 
 std::int64_t
@@ -225,6 +359,7 @@ Network::attachTelemetry(TelemetryHub& hub)
         return;
 
     if (PacketTracer* tracer = hub.tracer()) {
+        tracer->setPool(&pool_);
         for (auto& r : routers_)
             r->setTracer(tracer);
         for (auto& e : endpoints_)
@@ -279,7 +414,9 @@ Network::attachTelemetry(TelemetryHub& hub)
         return;
 
     for (int node = 0; node < n; ++node) {
-        const std::string r = "r" + std::to_string(node) + ".";
+        std::string r = "r";
+        r += std::to_string(node);
+        r += '.';
         Router* router = routers_[idx(node)].get();
         hub.addChannel(r + "vc_occ", ChannelKind::Gauge, [router] {
             return static_cast<double>(router->inputBufferedFlits());
@@ -305,7 +442,9 @@ Network::attachTelemetry(TelemetryHub& hub)
             return sent / static_cast<double>(links.size());
         });
 
-        const std::string e = "ep" + std::to_string(node) + ".";
+        std::string e = "ep";
+        e += std::to_string(node);
+        e += '.';
         Endpoint* ep = endpoints_[idx(node)].get();
         hub.addChannel(e + "inj_q", ChannelKind::Gauge, [ep] {
             return static_cast<double>(ep->sourceBacklogFlits());

@@ -12,7 +12,9 @@
 #include <memory>
 #include <vector>
 
+#include "sim/active_set.hpp"
 #include "network/endpoint.hpp"
+#include "router/packet_pool.hpp"
 #include "router/router.hpp"
 #include "sim/config.hpp"
 #include "topo/mesh.hpp"
@@ -22,35 +24,53 @@ namespace footprint {
 class TelemetryHub;
 
 /**
- * Double-buffered per-router status table: routers publish idle-VC
- * counts each cycle; neighbors read the previous cycle's values
- * (a one-cycle-delayed side-band network, as DBAR assumes).
+ * Per-router status table: routers publish idle-VC counts during
+ * their transmit phase; neighbors read during the compute phase.
+ * Because every compute phase of a cycle completes before any
+ * transmit phase begins, a read always observes the previous cycle's
+ * publishes — the one-cycle-delayed side-band network DBAR assumes —
+ * without double buffering. A router whose state did not change
+ * (quiescent under activity-driven stepping) may skip publishing: its
+ * stored counts are already current.
  */
 class StatusBoard : public StatusProvider
 {
   public:
     void init(int num_nodes);
 
-    /** Publish @p count for (node, port); visible after flip(). */
+    /** Publish @p count for (node, port); call in the transmit phase. */
     void publish(int node, int port, int count);
-
-    /** Make this cycle's published values visible to readers. */
-    void flip();
 
     int idleCount(int node, int port) const override;
 
   private:
-    std::vector<std::array<int, kNumPorts>> front_;
-    std::vector<std::array<int, kNumPorts>> back_;
+    std::vector<std::array<int, kNumPorts>> counts_;
+};
+
+/** How Network::step visits components each cycle. */
+enum class StepMode {
+    Full,      ///< step every router and endpoint every cycle
+    Activity,  ///< step only components on the active list
+    Verify,    ///< full stepping, cross-checking the active list
 };
 
 /**
  * A 2D-mesh network of routers and endpoints built from a SimConfig.
  *
- * Per cycle (step): all routers and endpoints run their receive phase,
- * then their compute phase, then routers transmit into links; finally
- * the status board flips. The two-phase structure makes the simulation
- * independent of iteration order and hence deterministic.
+ * Per cycle (step): routers and endpoints run their receive phase,
+ * then their compute phase, then routers transmit into links. The
+ * phase structure makes the simulation independent of iteration order
+ * and hence deterministic.
+ *
+ * Under the default "activity" step mode only components that can do
+ * work are visited: a component is woken for cycle t+1 when it still
+ * has pending work after cycle t (buffered flits, queued packets, or
+ * in-flight pipe entries) or when an active neighbor's outgoing pipe
+ * is non-empty. Stepping a quiescent component is observationally a
+ * no-op, so results are bit-identical to "full" stepping; the
+ * "verify" mode proves it per run by stepping everything while
+ * panicking if a component the active list would have skipped reports
+ * pending work (see DESIGN.md §12).
  */
 class Network
 {
@@ -59,6 +79,12 @@ class Network
 
     /** Advance the whole network by one cycle. */
     void step(std::int64_t cycle);
+
+    StepMode stepMode() const { return stepMode_; }
+
+    /** Descriptor pool backing Flit::desc for in-flight packets. */
+    PacketPool& packetPool() { return pool_; }
+    const PacketPool& packetPool() const { return pool_; }
 
     const Mesh& mesh() const { return mesh_; }
     const RoutingAlgorithm& routing() const { return *routing_; }
@@ -113,8 +139,8 @@ class Network
         int srcPort = -1;  ///< output port at src
         int dstNode = -1;
         int dstPort = -1;  ///< input port at dst
-        const FlitChannel* flit = nullptr;
-        const CreditChannel* credit = nullptr;
+        FlitChannel* flit = nullptr;
+        CreditChannel* credit = nullptr;
     };
 
     const std::vector<LinkRecord>& links() const { return links_; }
@@ -131,13 +157,27 @@ class Network
         return static_cast<std::size_t>(node);
     }
 
+    // Component ids on the active list: router of node k is 2k, its
+    // endpoint 2k+1 (dense, so the sorted active list reproduces full
+    // stepping's node order).
+    static int routerComp(int node) { return 2 * node; }
+    static int endpointComp(int node) { return 2 * node + 1; }
+
     FlitChannel* newFlitChannel(int latency);
     CreditChannel* newCreditChannel(int latency);
+
+    void buildWakeGraph();
+    bool componentHasPendingWork(int comp) const;
+    void stepPhases(const std::vector<int>& comps, std::int64_t cycle);
+    void rescheduleAfterStep(const std::vector<int>& comps);
+    void stepActivity(std::int64_t cycle, bool contiguous);
+    void stepVerify(std::int64_t cycle, bool contiguous);
 
     Mesh mesh_;
     RouterParams params_;
     std::unique_ptr<RoutingAlgorithm> routing_;
     StatusBoard status_;
+    PacketPool pool_;
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Endpoint>> endpoints_;
     std::vector<std::unique_ptr<FlitChannel>> flitChannels_;
@@ -145,6 +185,18 @@ class Network
     /** Outgoing flit channels per node (router outputs incl. local). */
     std::vector<std::vector<const FlitChannel*>> nodeOutChannels_;
     std::vector<LinkRecord> links_;
+
+    // Activity-driven stepping state. The wake graph maps each
+    // component to its outgoing pipes and the component on their far
+    // end: after a component's cycle, any non-empty outgoing pipe
+    // wakes its receiver (credits flow opposite to their link's flit
+    // direction, hence separate lists).
+    StepMode stepMode_ = StepMode::Activity;
+    ActiveSet active_;
+    std::int64_t lastCycle_ = 0;
+    bool haveStepped_ = false;
+    std::vector<int> fullOrder_;       ///< all component ids, sorted
+    std::vector<std::uint8_t> verifyMark_;  ///< scratch (verify mode)
 };
 
 } // namespace footprint

@@ -44,10 +44,13 @@ PacketTracer::record(const Flit& flit)
         PacketRecord& rec = it->second;
         rec.src = flit.src;
         rec.dest = flit.dest;
-        rec.size = flit.packetSize;
-        rec.flowClass = flit.flowClass;
-        rec.create = flit.createTime;
-        rec.inject = flit.injectTime;
+        if (pool_) {
+            const PacketDescriptor& d = pool_->get(flit.desc);
+            rec.size = d.packetSize;
+            rec.flowClass = d.flowClass;
+            rec.create = d.createTime;
+            rec.inject = d.injectTime;
+        }
     }
     return it->second;
 }
@@ -57,8 +60,8 @@ PacketTracer::onHopArrive(const Flit& flit, int node,
                           std::int64_t cycle)
 {
     PacketRecord& rec = record(flit);
-    if (rec.inject < 0)
-        rec.inject = flit.injectTime;
+    if (rec.inject < 0 && pool_)
+        rec.inject = pool_->get(flit.desc).injectTime;
     HopRecord hop;
     hop.node = node;
     hop.arrive = cycle;
@@ -147,8 +150,9 @@ PacketTracer::writeRecord(std::uint64_t id, const PacketRecord& rec,
                     args << ',';
                 args << "\"sa_stall\":" << h.st - h.va;
             }
-            chrome_->completeEvent("n" + std::to_string(h.node), 1,
-                                   tid, start, end - start,
+            std::string track = "n";
+            track += std::to_string(h.node);
+            chrome_->completeEvent(track, 1, tid, start, end - start,
                                    args.str());
         }
     }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "router/flit.hpp"
+#include "router/packet_pool.hpp"
 
 namespace footprint {
 
@@ -67,6 +68,14 @@ class PacketTracer
 
     /** Stamp run metadata as the first JSONL record. */
     void setMeta(const RunMetadata& meta);
+
+    /**
+     * Attach the pool holding per-packet constants (size, timestamps,
+     * flow class) that flits reference by Flit::desc; without a pool
+     * those record fields keep null-descriptor defaults. Network
+     * wires this automatically in attachTelemetry().
+     */
+    void setPool(const PacketPool* pool) { pool_ = pool; }
 
     /** Cheap hot-path filter: is @p packet_id being traced? */
     bool
@@ -131,6 +140,7 @@ class PacketTracer
     std::uint64_t completed_ = 0;
     std::unordered_map<std::uint64_t, PacketRecord> records_;
     ChromeTraceWriter* chrome_ = nullptr;
+    const PacketPool* pool_ = nullptr;
 };
 
 } // namespace footprint

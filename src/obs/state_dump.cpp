@@ -12,19 +12,20 @@ namespace footprint {
 namespace {
 
 void
-writeFlit(std::ostream& os, const Flit& f)
+writeFlit(std::ostream& os, const Flit& f, const PacketPool& pool)
 {
     os << "{\"packet\":" << f.packetId << ",\"src\":" << f.src
        << ",\"dest\":" << f.dest << ",\"vc\":" << f.vc
        << ",\"head\":" << (f.head ? "true" : "false")
        << ",\"tail\":" << (f.tail ? "true" : "false")
-       << ",\"hops\":" << f.hops << ",\"create\":" << f.createTime
-       << '}';
+       << ",\"hops\":" << f.hops
+       << ",\"create\":" << pool.get(f.desc).createTime << '}';
 }
 
 template <typename Range>
 void
-writeFlitArray(std::ostream& os, const Range& flits)
+writeFlitArray(std::ostream& os, const Range& flits,
+               const PacketPool& pool)
 {
     os << '[';
     bool first = true;
@@ -32,7 +33,7 @@ writeFlitArray(std::ostream& os, const Range& flits)
         if (!first)
             os << ',';
         first = false;
-        writeFlit(os, f);
+        writeFlit(os, f, pool);
     }
     os << ']';
 }
@@ -61,7 +62,7 @@ writeRouter(std::ostream& os, const Network& net, int node)
             }
             if (!ivc.empty()) {
                 os << ",\"flits\":";
-                writeFlitArray(os, ivc.buffer);
+                writeFlitArray(os, ivc.buffer, net.packetPool());
             }
             os << '}';
         }
@@ -84,7 +85,7 @@ writeRouter(std::ostream& os, const Network& net, int node)
         os << ']';
         if (!r.outputFifo(port).empty()) {
             os << ",\"fifo\":";
-            writeFlitArray(os, r.outputFifo(port));
+            writeFlitArray(os, r.outputFifo(port), net.packetPool());
         }
         os << '}';
     }
@@ -153,7 +154,7 @@ writeChannels(std::ostream& os, const Network& net)
                 if (!f_first)
                     os << ',';
                 f_first = false;
-                writeFlit(os, f);
+                writeFlit(os, f, net.packetPool());
             });
             os << ']';
         }

@@ -346,7 +346,8 @@ Watchdog::scanForLivelock(std::int64_t cycle)
                 for (const Flit& f : r.inputVc(port, vc).buffer) {
                     if (!f.head)
                         continue;
-                    const std::int64_t age = cycle - f.createTime;
+                    const std::int64_t age = cycle
+                        - net_->packetPool().get(f.desc).createTime;
                     const bool hops_bad = f.hops > maxHops_;
                     const bool age_bad = params_.maxAge > 0
                         && age > params_.maxAge;

@@ -1,5 +1,7 @@
 #include "router/allocators.hpp"
 
+#include <bit>
+
 #include "sim/log.hpp"
 
 namespace footprint {
@@ -28,6 +30,25 @@ RoundRobinArbiter::arbitrate(const std::vector<bool>& requests)
         }
     }
     return -1;
+}
+
+int
+RoundRobinArbiter::arbitrate(std::uint64_t requests)
+{
+    FP_ASSERT(size_ <= 64, "mask arbitrate needs <= 64 requesters");
+    FP_ASSERT(size_ == 64
+                  || (requests >> size_) == 0,
+              "request bits beyond arbiter size");
+    if (requests == 0)
+        return -1;
+    // First request at or after the pointer wins; wrap otherwise.
+    const std::uint64_t at_or_after =
+        requests >> pointer_ << pointer_;
+    const int winner = std::countr_zero(
+        at_or_after != 0 ? at_or_after : requests);
+    pointer_ = static_cast<int>(
+        (static_cast<std::size_t>(winner) + 1) % size_);
+    return winner;
 }
 
 PriorityArbiter::PriorityArbiter(int num_requesters)

@@ -33,6 +33,13 @@ class RoundRobinArbiter
      */
     int arbitrate(const std::vector<bool>& requests);
 
+    /**
+     * Bitmask form of arbitrate() for hot paths (identical grants and
+     * pointer updates): bit i of @p requests set if requester i is
+     * requesting. Requires at most 64 requesters.
+     */
+    int arbitrate(std::uint64_t requests);
+
     /** Current position of the grant pointer (for tests). */
     int pointer() const { return pointer_; }
 

@@ -13,15 +13,20 @@
 #define FOOTPRINT_ROUTER_CHANNEL_HPP
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 
 #include "router/flit.hpp"
+#include "sim/active_set.hpp"
+#include "sim/ring_buffer.hpp"
 
 namespace footprint {
 
 /**
  * A fixed-latency pipe carrying one item per cycle.
+ *
+ * In-flight entries live in a ring buffer sized from the latency (a
+ * pipe holds at most latency+1 entries when polled every cycle). The
+ * buffer is growable so unit tests may send without receiving.
  *
  * @tparam T payload type (Flit or Credit).
  */
@@ -29,9 +34,26 @@ template <typename T>
 class Pipe
 {
   public:
-    explicit Pipe(int latency = 1) : latency_(latency) {}
+    explicit Pipe(int latency = 1)
+        : latency_(latency),
+          inFlight_(static_cast<std::size_t>(latency) + 1,
+                    /*growable=*/true)
+    {}
 
     int latency() const { return latency_; }
+
+    /**
+     * Wake component @p comp on @p set whenever something is sent into
+     * this pipe (activity-driven stepping: the receiver must run until
+     * the pipe drains; its own pending-work check keeps it awake
+     * across the latency window after this initial wake).
+     */
+    void
+    setWakeHook(ActiveSet* set, int comp)
+    {
+        wakeSet_ = set;
+        wakeComp_ = comp;
+    }
 
     /** Send @p item at @p cycle; at most one send per cycle. */
     void
@@ -39,6 +61,8 @@ class Pipe
     {
         inFlight_.push_back(Entry{cycle + latency_, item});
         ++sentCount_;
+        if (wakeSet_)
+            wakeSet_->wake(wakeComp_);
     }
 
     /**
@@ -81,8 +105,10 @@ class Pipe
     };
 
     int latency_;
-    std::deque<Entry> inFlight_;
+    RingBuffer<Entry> inFlight_;
     std::uint64_t sentCount_ = 0;
+    ActiveSet* wakeSet_ = nullptr;
+    int wakeComp_ = -1;
 };
 
 using FlitChannel = Pipe<Flit>;

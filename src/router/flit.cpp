@@ -1,6 +1,7 @@
 #include "router/flit.hpp"
 
-#include <sstream>
+#include <cinttypes>
+#include <cstdio>
 
 #include "sim/log.hpp"
 
@@ -9,15 +10,24 @@ namespace footprint {
 std::string
 Flit::toString() const
 {
-    std::ostringstream oss;
-    oss << "flit[pkt=" << packetId << " " << src << "->" << dest
-        << (head ? " H" : "") << (tail ? " T" : "") << " vc=" << vc
-        << " hops=" << hops << "]";
-    return oss.str();
+    // snprintf instead of ostringstream: toString() feeds FP_ASSERT
+    // messages on the hot path, and the stream machinery allocates
+    // even for messages that are never used.
+    char buf[96];
+    const int n = std::snprintf(
+        buf, sizeof(buf), "flit[pkt=%" PRIu64 " %d->%d%s%s vc=%d hops=%d]",
+        packetId, src, dest, head ? " H" : "", tail ? " T" : "",
+        static_cast<int>(vc), static_cast<int>(hops));
+    const std::size_t len =
+        n < 0 ? 0
+              : (static_cast<std::size_t>(n) < sizeof(buf)
+                     ? static_cast<std::size_t>(n)
+                     : sizeof(buf) - 1);
+    return std::string(buf, len);
 }
 
 Flit
-makeFlit(const Packet& pkt, int index)
+makeFlit(const Packet& pkt, int index, std::uint32_t desc)
 {
     FP_ASSERT(index >= 0 && index < pkt.size,
               "flit index " << index << " out of packet of size "
@@ -26,12 +36,9 @@ makeFlit(const Packet& pkt, int index)
     f.packetId = pkt.id;
     f.src = pkt.src;
     f.dest = pkt.dest;
+    f.desc = desc;
     f.head = (index == 0);
     f.tail = (index == pkt.size - 1);
-    f.packetSize = pkt.size;
-    f.createTime = pkt.createTime;
-    f.flowClass = pkt.flowClass;
-    f.measured = pkt.measured;
     return f;
 }
 

@@ -40,24 +40,31 @@ struct Packet
  * The vc field is context-dependent: on a channel it names the
  * downstream input VC the flit is destined for; inside an input buffer
  * it names the VC the flit occupies.
+ *
+ * A flit is copied at every hop (channel -> input VC -> output FIFO ->
+ * channel), so it carries only what routers read per cycle: identity
+ * (packetId), the routing inputs (src/dest, used by every routing
+ * function), framing (head/tail), and mutable in-flight state
+ * (vc/hops). Per-packet constants that only the measurement apparatus
+ * reads (size, timestamps, flow class, measured flag) live in a pooled
+ * PacketDescriptor referenced by the desc index; slot 0 is a reserved
+ * null descriptor for hand-crafted flits in tests.
  */
 struct Flit
 {
     std::uint64_t packetId = 0;
     int src = -1;
     int dest = -1;
+    std::uint32_t desc = 0;   ///< PacketDescriptor pool slot (0 = none)
+    std::int16_t vc = -1;
+    std::int16_t hops = 0;
     bool head = false;
     bool tail = false;
-    int packetSize = 1;
-    std::int64_t createTime = 0;
-    std::int64_t injectTime = -1;   ///< cycle the flit left the source
-    FlowClass flowClass = FlowClass::Background;
-    bool measured = false;
-    int vc = -1;
-    int hops = 0;
 
     std::string toString() const;
 };
+
+static_assert(sizeof(Flit) <= 32, "Flit is copied per hop; keep it small");
 
 /** A credit returned upstream when an input-buffer slot frees. */
 struct Credit
@@ -66,7 +73,7 @@ struct Credit
 };
 
 /** Build the flit sequence for @p pkt (head..body..tail). */
-Flit makeFlit(const Packet& pkt, int index);
+Flit makeFlit(const Packet& pkt, int index, std::uint32_t desc = 0);
 
 } // namespace footprint
 

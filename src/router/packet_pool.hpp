@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Pooled per-packet constants referenced by Flit::desc.
+ *
+ * A flit is copied at every hop, so the fields only the measurement
+ * apparatus reads (size, timestamps, flow class, measured flag) are
+ * hoisted out of the flit into a PacketDescriptor slot allocated at
+ * injection and released when the tail flit is ejected. The pool is
+ * owned by the Network; slots are recycled LIFO, so a steady-state run
+ * touches the same few cache lines no matter how many packets flow.
+ *
+ * Slot 0 is a reserved null descriptor (default-constructed, never
+ * released) so hand-crafted flits in tests and forensic paths can
+ * dereference desc == 0 safely.
+ */
+
+#ifndef FOOTPRINT_ROUTER_PACKET_POOL_HPP
+#define FOOTPRINT_ROUTER_PACKET_POOL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "router/flit.hpp"
+
+namespace footprint {
+
+/** Per-packet constants shared by all flits of one packet. */
+struct PacketDescriptor
+{
+    int packetSize = 1;             ///< length in flits (>= 1)
+    std::int64_t createTime = 0;    ///< cycle the source generated it
+    std::int64_t injectTime = -1;   ///< cycle the head flit was injected
+    FlowClass flowClass = FlowClass::Background;
+    bool measured = false;
+};
+
+/**
+ * Free-list pool of PacketDescriptors. Capacity grows on demand but
+ * reaches a fixed point once the peak number of in-flight packets has
+ * been seen; after that alloc/release never touch the heap.
+ */
+class PacketPool
+{
+  public:
+    PacketPool() { slots_.emplace_back(); }  // slot 0: null descriptor
+
+    /** Allocate a slot describing @p pkt; injectTime starts at -1. */
+    std::uint32_t
+    alloc(const Packet& pkt)
+    {
+        std::uint32_t idx;
+        if (freeList_.empty()) {
+            idx = static_cast<std::uint32_t>(slots_.size());
+            slots_.emplace_back();
+        } else {
+            idx = freeList_.back();
+            freeList_.pop_back();
+        }
+        PacketDescriptor& d = slots_[idx];
+        d.packetSize = pkt.size;
+        d.createTime = pkt.createTime;
+        d.injectTime = -1;
+        d.flowClass = pkt.flowClass;
+        d.measured = pkt.measured;
+        return idx;
+    }
+
+    /** Return a slot to the free list; releasing slot 0 is a no-op. */
+    void
+    release(std::uint32_t idx)
+    {
+        if (idx == 0)
+            return;
+        freeList_.push_back(idx);
+    }
+
+    const PacketDescriptor& get(std::uint32_t idx) const
+    {
+        return slots_[idx];
+    }
+
+    PacketDescriptor& get(std::uint32_t idx) { return slots_[idx]; }
+
+    /** Slots currently allocated to live packets (excludes slot 0). */
+    std::size_t liveCount() const
+    {
+        return slots_.size() - 1 - freeList_.size();
+    }
+
+    /** Total slots ever created, including the null slot. */
+    std::size_t slotCount() const { return slots_.size(); }
+
+  private:
+    std::vector<PacketDescriptor> slots_;
+    std::vector<std::uint32_t> freeList_;
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_ROUTER_PACKET_POOL_HPP

@@ -1,6 +1,7 @@
 #include "router/router.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "obs/packet_tracer.hpp"
 #include "sim/log.hpp"
@@ -17,8 +18,12 @@ Router::Router(const Mesh& mesh, int node, const RouterParams& params,
     FP_ASSERT(params.numVcs >= 1 && params.numVcs <= 64,
               "numVcs must be in [1, 64]");
     FP_ASSERT(params.vcBufSize >= 1, "vcBufSize must be positive");
+    FP_ASSERT(params.outputFifoSize >= 1,
+              "outputFifoSize must be positive");
     for (auto& in : inputs_) {
         in.vcs.resize(static_cast<std::size_t>(params.numVcs));
+        for (auto& vc : in.vcs)
+            vc.buffer.reset(static_cast<std::size_t>(params.vcBufSize));
         in.saArbiter.resize(params.numVcs);
         in.requests.resize(static_cast<std::size_t>(params.numVcs));
     }
@@ -26,6 +31,7 @@ Router::Router(const Mesh& mesh, int node, const RouterParams& params,
         out.vcs.assign(static_cast<std::size_t>(params.numVcs),
                        OutVcState(params.vcBufSize));
         out.saArbiter.resize(kNumPorts);
+        out.fifo.reset(static_cast<std::size_t>(params.outputFifoSize));
     }
     neighborNode_.fill(-1);
 
@@ -34,10 +40,9 @@ Router::Router(const Mesh& mesh, int node, const RouterParams& params,
     vcRequesters_.resize(total_vcs);
     vcRrPtr_.assign(total_vcs, 0);
     bestGrant_.resize(total_vcs);
-    saElig_.resize(static_cast<std::size_t>(params.numVcs));
-    saReq_.resize(kNumPorts);
     destConvergence_.assign(static_cast<std::size_t>(mesh.numNodes()),
                             0);
+    statusIdleDirty_.fill(1);
 }
 
 void
@@ -78,15 +83,19 @@ Router::receivePhase(std::int64_t cycle)
             if (tracer_ && f->head && tracer_->traced(f->packetId))
                 tracer_->onHopArrive(*f, node_, cycle);
             ivc.buffer.push_back(*f);
+            in.occMask |= VcMask{1} << f->vc;
+            ++bufferedFlits_;
         }
     }
-    for (auto& out : outputs_) {
+    for (int op = 0; op < kNumPorts; ++op) {
+        OutputPort& out = outputs_[static_cast<std::size_t>(op)];
         if (!out.creditIn)
             continue;
         while (auto c = out.creditIn->receive(cycle)) {
             FP_ASSERT(c->vc >= 0 && c->vc < params_.numVcs,
                       "credit arrived with bad VC " << c->vc);
             out.vcs[static_cast<std::size_t>(c->vc)].returnCredit();
+            statusIdleDirty_[static_cast<std::size_t>(op)] = 1;
         }
     }
 }
@@ -106,6 +115,12 @@ Router::runVcAllocation()
     const int num_vcs = params_.numVcs;
     const int total_ids = kNumPorts * num_vcs;
 
+    // Early out: with no buffered flits there are no requests to
+    // gather, and with no touched convergence counters there is
+    // nothing stale to refresh either.
+    if (bufferedFlits_ == 0 && destWaitTouched_.empty())
+        return;
+
     // Refresh the per-destination convergence counters: the number of
     // input VCs holding flits to each destination. Two or more means
     // traffic to that destination is accumulating at this router —
@@ -118,38 +133,35 @@ Router::runVcAllocation()
     for (const int dest : destWaitTouched_)
         destConvergence_[static_cast<std::size_t>(dest)] = 0;
     destWaitTouched_.clear();
+    if (bufferedFlits_ == 0)
+        return;
     for (int ip = 0; ip < kNumPorts; ++ip) {
-        InputPort& in = inputs_[static_cast<std::size_t>(ip)];
-        for (int v = 0; v < num_vcs; ++v) {
-            const InputVc& ivc = in.vcs[static_cast<std::size_t>(v)];
-            if (ivc.empty())
-                continue;
-            const auto dest =
-                static_cast<std::size_t>(ivc.front().dest);
+        const InputPort& in = inputs_[static_cast<std::size_t>(ip)];
+        for (VcMask m = in.occMask; m != 0; m &= m - 1) {
+            const int v = std::countr_zero(m);
+            const auto dest = static_cast<std::size_t>(
+                in.vcs[static_cast<std::size_t>(v)].front().dest);
             if (destConvergence_[dest]++ == 0)
                 destWaitTouched_.push_back(static_cast<int>(dest));
         }
     }
 
     // Output-VC state is constant throughout request gathering, so
-    // the per-port masks the routing functions consult can be computed
-    // once per cycle.
-    for (int p = 0; p < kNumPorts; ++p) {
-        cachedIdle_[static_cast<std::size_t>(p)] =
-            computeIdleVcMask(p);
-        cachedOccupied_[static_cast<std::size_t>(p)] =
-            computeOccupiedVcMask(p);
-        cachedZeroCredit_[static_cast<std::size_t>(p)] =
-            computeZeroCreditVcMask(p);
-    }
+    // each port's masks can be cached across the window; they are
+    // filled lazily on first access since the routing functions only
+    // consult the ports they actually consider.
+    maskPortValid_.fill(0);
     maskCacheValid_ = true;
 
     waiting_.clear();
     for (int ip = 0; ip < kNumPorts; ++ip) {
         InputPort& in = inputs_[static_cast<std::size_t>(ip)];
-        for (int v = 0; v < num_vcs; ++v) {
+        // A VC in VcAlloc state always holds its head flit, so the
+        // occupancy mask covers every allocation candidate.
+        for (VcMask occ = in.occMask; occ != 0; occ &= occ - 1) {
+            const int v = std::countr_zero(occ);
             InputVc& ivc = in.vcs[static_cast<std::size_t>(v)];
-            if (ivc.state == InputVc::State::Idle && !ivc.empty()) {
+            if (ivc.state == InputVc::State::Idle) {
                 FP_ASSERT(ivc.front().head,
                           "non-head flit at front of idle VC");
                 ivc.state = InputVc::State::VcAlloc;
@@ -167,19 +179,10 @@ Router::runVcAllocation()
     if (waiting_.empty())
         return;
 
-    // Which output VCs can be allocated right now.
+    // Which output VCs can be allocated right now; filled lazily since
+    // most cycles request only a subset of the ports.
     VcMask alloc_mask[kNumPorts];
-    for (int op = 0; op < kNumPorts; ++op) {
-        const OutputPort& out = outputs_[static_cast<std::size_t>(op)];
-        VcMask m = 0;
-        for (int ov = 0; ov < num_vcs; ++ov) {
-            if (out.vcs[static_cast<std::size_t>(ov)].allocatable(
-                    atomic)) {
-                m |= VcMask{1} << ov;
-            }
-        }
-        alloc_mask[op] = m;
-    }
+    std::uint8_t alloc_valid[kNumPorts] = {};
 
     // Scatter requests onto the allocatable output VCs they target.
     for (const auto& [ip, v] : waiting_) {
@@ -188,8 +191,20 @@ Router::runVcAllocation()
         const OutputSet& set = inputs_[static_cast<std::size_t>(ip)]
                                    .requests[static_cast<std::size_t>(v)];
         for (const VcRequest& r : set.requests()) {
-            VcMask m = r.vcs
-                & alloc_mask[static_cast<std::size_t>(r.port)];
+            const auto rp = static_cast<std::size_t>(r.port);
+            if (!alloc_valid[rp]) {
+                const OutputPort& out = outputs_[rp];
+                VcMask am = 0;
+                for (int ov = 0; ov < num_vcs; ++ov) {
+                    if (out.vcs[static_cast<std::size_t>(ov)]
+                            .allocatable(atomic)) {
+                        am |= VcMask{1} << ov;
+                    }
+                }
+                alloc_mask[rp] = am;
+                alloc_valid[rp] = 1;
+            }
+            VcMask m = r.vcs & alloc_mask[rp];
             while (m != 0) {
                 const int ov = std::countr_zero(m);
                 m &= m - 1;
@@ -250,6 +265,7 @@ Router::runVcAllocation()
             outputs_[static_cast<std::size_t>(g.outPort)]
                 .vcs[static_cast<std::size_t>(g.outVc)]
                 .allocate(ivc.front().dest);
+            statusIdleDirty_[static_cast<std::size_t>(g.outPort)] = 1;
             ++counters_.vcAllocSuccess;
             if (tracer_ && tracer_->traced(ivc.front().packetId))
                 tracer_->onVaGrant(ivc.front(), node_, cycle_);
@@ -279,52 +295,60 @@ Router::runVcAllocation()
 void
 Router::runSwitchAllocation()
 {
-    const int num_vcs = params_.numVcs;
-    std::vector<bool>& vc_elig = saElig_;
-    std::vector<bool>& port_req = saReq_;
+    // No buffered flits means no eligible input VC (eligibility
+    // requires a non-empty buffer); the output FIFOs drain in the
+    // transmit phase regardless.
+    if (bufferedFlits_ == 0)
+        return;
+
     std::array<int, kNumPorts> winner_vc{};
 
     for (int pass = 0; pass < params_.internalSpeedup; ++pass) {
-        // Input-side: each input port nominates one eligible VC.
+        // Input-side: each input port nominates one eligible VC. Only
+        // non-empty VCs (the occupancy mask) can be eligible.
+        std::array<std::uint64_t, kNumPorts> port_req{};
+        bool any_winner = false;
         for (int ip = 0; ip < kNumPorts; ++ip) {
             InputPort& in = inputs_[static_cast<std::size_t>(ip)];
-            bool any = false;
-            for (int v = 0; v < num_vcs; ++v) {
-                const InputVc& ivc = in.vcs[static_cast<std::size_t>(v)];
-                bool ok = ivc.state == InputVc::State::Active
-                    && !ivc.empty();
-                if (ok) {
-                    const OutputPort& out = outputs_[
-                        static_cast<std::size_t>(ivc.outPort)];
-                    ok = out.vcs[static_cast<std::size_t>(ivc.outVc)]
-                                 .credits() > 0
-                        && static_cast<int>(out.fifo.size())
-                            < params_.outputFifoSize;
+            VcMask elig = 0;
+            for (VcMask m = in.occMask; m != 0; m &= m - 1) {
+                const int v = std::countr_zero(m);
+                const InputVc& ivc =
+                    in.vcs[static_cast<std::size_t>(v)];
+                if (ivc.state != InputVc::State::Active)
+                    continue;
+                const OutputPort& out = outputs_[
+                    static_cast<std::size_t>(ivc.outPort)];
+                if (out.vcs[static_cast<std::size_t>(ivc.outVc)]
+                            .credits() > 0
+                    && static_cast<int>(out.fifo.size())
+                        < params_.outputFifoSize) {
+                    elig |= VcMask{1} << v;
                 }
-                vc_elig[static_cast<std::size_t>(v)] = ok;
-                any = any || ok;
             }
-            winner_vc[static_cast<std::size_t>(ip)] =
-                any ? in.saArbiter.arbitrate(vc_elig) : -1;
+            const int win =
+                elig != 0 ? in.saArbiter.arbitrate(elig) : -1;
+            winner_vc[static_cast<std::size_t>(ip)] = win;
+            if (win >= 0) {
+                const auto op = static_cast<std::size_t>(
+                    in.vcs[static_cast<std::size_t>(win)].outPort);
+                port_req[op] |= std::uint64_t{1}
+                    << static_cast<unsigned>(ip);
+                any_winner = true;
+            }
         }
+        if (!any_winner)
+            break;
 
         // Output-side: each output port accepts one input port.
         bool moved = false;
         for (int op = 0; op < kNumPorts; ++op) {
-            bool any = false;
-            for (int ip = 0; ip < kNumPorts; ++ip) {
-                const int v = winner_vc[static_cast<std::size_t>(ip)];
-                const bool req = v >= 0
-                    && inputs_[static_cast<std::size_t>(ip)]
-                           .vcs[static_cast<std::size_t>(v)]
-                           .outPort == op;
-                port_req[static_cast<std::size_t>(ip)] = req;
-                any = any || req;
-            }
-            if (!any)
+            const std::uint64_t req =
+                port_req[static_cast<std::size_t>(op)];
+            if (req == 0)
                 continue;
             OutputPort& out = outputs_[static_cast<std::size_t>(op)];
-            const int wip = out.saArbiter.arbitrate(port_req);
+            const int wip = out.saArbiter.arbitrate(req);
             if (wip >= 0) {
                 moveFlit(wip, winner_vc[static_cast<std::size_t>(wip)]);
                 moved = true;
@@ -345,10 +369,14 @@ Router::moveFlit(int in_port, int in_vc)
 
     Flit f = ivc.buffer.front();
     ivc.buffer.pop_front();
+    if (ivc.buffer.empty())
+        in.occMask &= ~(VcMask{1} << in_vc);
+    --bufferedFlits_;
 
     OutputPort& out = outputs_[static_cast<std::size_t>(ivc.outPort)];
     OutVcState& ovc = out.vcs[static_cast<std::size_t>(ivc.outVc)];
-    f.vc = ivc.outVc;
+    statusIdleDirty_[static_cast<std::size_t>(ivc.outPort)] = 1;
+    f.vc = static_cast<std::int16_t>(ivc.outVc);
     ++f.hops;
     ovc.consumeCredit();
     if (f.tail) {
@@ -356,6 +384,7 @@ Router::moveFlit(int in_port, int in_vc)
         ivc.releaseRoute();
     }
     out.fifo.push_back(f);
+    ++fifoFlits_;
     ++counters_.flitsTraversed;
     if (tracer_ && f.head && tracer_->traced(f.packetId))
         tracer_->onSwitchTraverse(f, node_, cycle_);
@@ -373,7 +402,24 @@ Router::transmitPhase(std::int64_t cycle)
             continue;
         out.flitOut->send(out.fifo.front(), cycle);
         out.fifo.pop_front();
+        --fifoFlits_;
     }
+}
+
+bool
+Router::hasPendingWork() const
+{
+    if (bufferedFlits_ > 0 || fifoFlits_ > 0)
+        return true;
+    for (const auto& in : inputs_) {
+        if (in.flitIn && !in.flitIn->empty())
+            return true;
+    }
+    for (const auto& out : outputs_) {
+        if (out.creditIn && !out.creditIn->empty())
+            return true;
+    }
+    return false;
 }
 
 VcMask
@@ -388,12 +434,25 @@ Router::computeIdleVcMask(int port) const
     return m;
 }
 
+void
+Router::fillMaskCache(int port) const
+{
+    const auto p = static_cast<std::size_t>(port);
+    if (maskPortValid_[p])
+        return;
+    cachedIdle_[p] = computeIdleVcMask(port);
+    cachedOccupied_[p] = computeOccupiedVcMask(port);
+    cachedZeroCredit_[p] = computeZeroCreditVcMask(port);
+    maskPortValid_[p] = 1;
+}
+
 VcMask
 Router::idleVcMask(int port) const
 {
-    return maskCacheValid_
-        ? cachedIdle_[static_cast<std::size_t>(port)]
-        : computeIdleVcMask(port);
+    if (!maskCacheValid_)
+        return computeIdleVcMask(port);
+    fillMaskCache(port);
+    return cachedIdle_[static_cast<std::size_t>(port)];
 }
 
 VcMask
@@ -428,9 +487,10 @@ Router::computeOccupiedVcMask(int port) const
 VcMask
 Router::occupiedVcMask(int port) const
 {
-    return maskCacheValid_
-        ? cachedOccupied_[static_cast<std::size_t>(port)]
-        : computeOccupiedVcMask(port);
+    if (!maskCacheValid_)
+        return computeOccupiedVcMask(port);
+    fillMaskCache(port);
+    return cachedOccupied_[static_cast<std::size_t>(port)];
 }
 
 VcMask
@@ -448,9 +508,10 @@ Router::computeZeroCreditVcMask(int port) const
 VcMask
 Router::zeroCreditVcMask(int port) const
 {
-    return maskCacheValid_
-        ? cachedZeroCredit_[static_cast<std::size_t>(port)]
-        : computeZeroCreditVcMask(port);
+    if (!maskCacheValid_)
+        return computeZeroCreditVcMask(port);
+    fillMaskCache(port);
+    return cachedZeroCredit_[static_cast<std::size_t>(port)];
 }
 
 int
@@ -471,7 +532,14 @@ Router::remoteIdleCount(int through_port, int port) const
 int
 Router::idleVcCount(int port) const
 {
-    return popcount(idleVcMask(port));
+    // Published to the status network every cycle; recomputed only
+    // after an output-VC state change on the port.
+    const auto p = static_cast<std::size_t>(port);
+    if (statusIdleDirty_[p]) {
+        statusIdleCount_[p] = popcount(computeIdleVcMask(port));
+        statusIdleDirty_[p] = 0;
+    }
+    return statusIdleCount_[p];
 }
 
 int
@@ -527,12 +595,7 @@ Router::totalBufferedFlits() const
 int
 Router::inputBufferedFlits() const
 {
-    int total = 0;
-    for (const auto& in : inputs_) {
-        for (const auto& vc : in.vcs)
-            total += static_cast<int>(vc.occupancy());
-    }
-    return total;
+    return bufferedFlits_;
 }
 
 int
@@ -558,10 +621,7 @@ Router::occupiedOutVcs() const
 int
 Router::outputFifoFlits() const
 {
-    int total = 0;
-    for (const auto& out : outputs_)
-        total += static_cast<int>(out.fifo.size());
-    return total;
+    return fifoFlits_;
 }
 
 int
@@ -587,7 +647,7 @@ Router::inputVc(int port, int vc) const
         .vcs[static_cast<std::size_t>(vc)];
 }
 
-const std::deque<Flit>&
+const RingBuffer<Flit>&
 Router::outputFifo(int port) const
 {
     return outputs_[static_cast<std::size_t>(port)].fifo;
@@ -610,6 +670,7 @@ Router::debugLeakCredit(int port, int vc)
     outputs_[static_cast<std::size_t>(port)]
         .vcs[static_cast<std::size_t>(vc)]
         .consumeCredit();
+    statusIdleDirty_[static_cast<std::size_t>(port)] = 1;
 }
 
 } // namespace footprint

@@ -108,6 +108,16 @@ class Router : public RouterView
     void computePhase(std::int64_t cycle);
     void transmitPhase(std::int64_t cycle);
 
+    /**
+     * True when stepping this router next cycle could change state:
+     * flits buffered in input VCs or output FIFOs, or anything (even
+     * not yet arrived) in an incoming flit/credit pipe. Quiescent
+     * routers (pending work == false) are observationally inert — all
+     * three phases are no-ops — which is what makes activity-driven
+     * stepping bit-identical to full stepping.
+     */
+    bool hasPendingWork() const;
+
     // RouterView interface.
     int nodeId() const override { return node_; }
     const Mesh& mesh() const override { return *mesh_; }
@@ -178,7 +188,7 @@ class Router : public RouterView
     const InputVc& inputVc(int port, int vc) const;
 
     /** Flits waiting in the output FIFO of @p port, head first. */
-    const std::deque<Flit>& outputFifo(int port) const;
+    const RingBuffer<Flit>& outputFifo(int port) const;
 
     /** Flits of output FIFO @p port destined for downstream VC @p vc. */
     int outputFifoFlitsForVc(int port, int vc) const;
@@ -204,6 +214,7 @@ class Router : public RouterView
         std::vector<InputVc> vcs;
         RoundRobinArbiter saArbiter;  ///< over this port's VCs
         std::vector<OutputSet> requests;  ///< per-VC request sets
+        VcMask occMask = 0;  ///< bit v set while vcs[v] is non-empty
     };
 
     struct OutputPort
@@ -212,7 +223,7 @@ class Router : public RouterView
         CreditChannel* creditIn = nullptr;
         std::vector<OutVcState> vcs;
         RoundRobinArbiter saArbiter;  ///< over input ports
-        std::deque<Flit> fifo;
+        RingBuffer<Flit> fifo;  ///< capacity fixed to outputFifoSize
     };
 
     void runVcAllocation();
@@ -247,23 +258,36 @@ class Router : public RouterView
     std::vector<int> touchedOutVcs_;
     std::vector<int> vcRrPtr_;      ///< per-output-VC tie-break pointer
     std::vector<VaGrant> bestGrant_;  ///< per flattened input VC id
-    std::vector<bool> saElig_;
-    std::vector<bool> saReq_;
     std::vector<std::uint8_t>
         destConvergence_;  ///< input VCs holding flits per destination
     std::vector<int> destWaitTouched_;  ///< dests to clear next cycle
 
     // Per-port output-VC masks, cached for the request-gathering
     // phase of a cycle (no output VC changes state during it). The
-    // routing functions hit these masks many times per cycle.
+    // routing functions hit these masks many times per cycle, but many
+    // cycles route through only a subset of ports, so each port's
+    // masks are computed lazily on first access within the window.
     mutable std::array<VcMask, kNumPorts> cachedIdle_{};
     mutable std::array<VcMask, kNumPorts> cachedOccupied_{};
     mutable std::array<VcMask, kNumPorts> cachedZeroCredit_{};
-    bool maskCacheValid_ = false;
+    mutable std::array<std::uint8_t, kNumPorts> maskPortValid_{};
+    bool maskCacheValid_ = false;  ///< caching window open
 
+    void fillMaskCache(int port) const;
     VcMask computeIdleVcMask(int port) const;
     VcMask computeOccupiedVcMask(int port) const;
     VcMask computeZeroCreditVcMask(int port) const;
+
+    // Incrementally maintained totals backing the telemetry probes and
+    // hasPendingWork() without walking every VC each cycle.
+    int bufferedFlits_ = 0;  ///< flits across all input VCs
+    int fifoFlits_ = 0;      ///< flits across all output FIFOs
+
+    // Per-port idle-VC count published to the status network every
+    // cycle; recomputed only after an output-VC state change on the
+    // port (credit return, allocation, credit consumption, tail).
+    mutable std::array<int, kNumPorts> statusIdleCount_{};
+    mutable std::array<std::uint8_t, kNumPorts> statusIdleDirty_{};
 
     Counters counters_;
     PacketTracer* tracer_ = nullptr;

@@ -9,9 +9,9 @@
 #define FOOTPRINT_ROUTER_VC_STATE_HPP
 
 #include <cstdint>
-#include <deque>
 
 #include "router/flit.hpp"
+#include "sim/ring_buffer.hpp"
 
 namespace footprint {
 
@@ -48,7 +48,8 @@ class InputVc
     int outPort = -1;  ///< granted output port (valid when Active)
     int outVc = -1;    ///< granted output VC (valid when Active)
 
-    std::deque<Flit> buffer;
+    /** Flit FIFO; capacity fixed to the VC buffer depth at reset(). */
+    RingBuffer<Flit> buffer;
 
     bool empty() const { return buffer.empty(); }
     std::size_t occupancy() const { return buffer.size(); }

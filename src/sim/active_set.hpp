@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The per-cycle active set behind activity-driven stepping.
+ *
+ * Components (routers and endpoints) are identified by a dense integer
+ * id. During cycle t anyone may wake() a component for cycle t+1; at
+ * the start of cycle t+1 beginCycle() drains the pending set into the
+ * cycle's active list, ascending by component id, so activity-driven
+ * stepping visits components in exactly the order full stepping does.
+ * (Within a phase the order is observationally irrelevant — phases are
+ * global barriers and channels are latency-gated — but keeping the
+ * order identical makes per-component RNG and pool-allocation
+ * sequences trivially bit-identical too.)
+ *
+ * The pending set is a bitmap, so wake() is one OR (idempotent and
+ * duplicate-free by construction) and beginCycle() costs one pass over
+ * numComponents/64 words plus one push per active component — no
+ * sorting.
+ */
+
+#ifndef FOOTPRINT_SIM_ACTIVE_SET_HPP
+#define FOOTPRINT_SIM_ACTIVE_SET_HPP
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace footprint {
+
+class ActiveSet
+{
+  public:
+    /** Size for @p num_components ids; clears any pending wakes. */
+    void
+    init(int num_components)
+    {
+        n_ = num_components;
+        words_.assign(
+            static_cast<std::size_t>((num_components + 63) / 64), 0);
+        active_.clear();
+        active_.reserve(static_cast<std::size_t>(num_components));
+    }
+
+    int size() const { return n_; }
+
+    /** Schedule component @p comp for the next cycle (idempotent). */
+    void
+    wake(int comp)
+    {
+        words_[static_cast<std::size_t>(comp) >> 6] |=
+            std::uint64_t{1} << (comp & 63);
+    }
+
+    /** Schedule every component (full step / non-contiguous cycle). */
+    void
+    wakeAll()
+    {
+        if (words_.empty())
+            return;
+        for (std::uint64_t& w : words_)
+            w = ~std::uint64_t{0};
+        if ((n_ & 63) != 0)
+            words_.back() = (std::uint64_t{1} << (n_ & 63)) - 1;
+    }
+
+    /**
+     * Promote the pending set to this cycle's active list (ascending
+     * by id) and start collecting wakes for the next cycle. The
+     * returned reference is valid until the next beginCycle().
+     */
+    const std::vector<int>&
+    beginCycle()
+    {
+        active_.clear();
+        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+            std::uint64_t w = words_[wi];
+            words_[wi] = 0;
+            const int base = static_cast<int>(wi) * 64;
+            for (; w != 0; w &= w - 1)
+                active_.push_back(base + std::countr_zero(w));
+        }
+        return active_;
+    }
+
+  private:
+    int n_ = 0;
+    std::vector<std::uint64_t> words_;  ///< pending bitmap
+    std::vector<int> active_;  ///< this cycle's list (beginCycle)
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_SIM_ACTIVE_SET_HPP

@@ -28,8 +28,9 @@ constexpr std::array kKnownKeys = {
     // Traffic.
     "traffic", "injection_rate", "background_rate", "packet_size",
     "trace_file", "trace_length", "app", "app2",
-    // Simulation phases.
+    // Simulation phases / execution.
     "warmup_cycles", "measure_cycles", "drain_cycles", "seed",
+    "step_mode",
     // Telemetry.
     "telemetry_out", "telemetry_format", "sample_interval",
     "telemetry_per_router", "trace_out", "trace_packets",
@@ -302,6 +303,9 @@ defaultConfig()
     cfg.setInt("measure_cycles", 10000);
     cfg.setInt("drain_cycles", 50000);
     cfg.setInt("seed", 1);
+    // "activity" steps only components with pending work (bit-identical
+    // to "full"); "verify" runs both and panics on any divergence.
+    cfg.set("step_mode", "activity");
     // Telemetry / observability (see DESIGN.md "Observability").
     cfg.set("telemetry_out", "");       // empty = no time series
     cfg.set("telemetry_format", "csv"); // or "jsonl"

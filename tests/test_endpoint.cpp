@@ -27,7 +27,7 @@ class EndpointHarness
         params.vcBufSize = buf_size;
         params.ejectionRate = ejection_rate;
         params.atomicVcAlloc = atomic;
-        ep = std::make_unique<Endpoint>(3, params, 1);
+        ep = std::make_unique<Endpoint>(3, params, 1, &pool);
         toRouter = std::make_unique<FlitChannel>(1);
         creditFromRouter = std::make_unique<CreditChannel>(1);
         fromRouter = std::make_unique<FlitChannel>(1);
@@ -62,6 +62,7 @@ class EndpointHarness
         return p;
     }
 
+    PacketPool pool;
     std::unique_ptr<Endpoint> ep;
     std::unique_ptr<FlitChannel> toRouter;
     std::unique_ptr<CreditChannel> creditFromRouter;
@@ -79,7 +80,7 @@ TEST(EndpointSource, InjectsOneFlitPerCycle)
         ASSERT_EQ(sent.size(), 1u) << "cycle " << i;
         EXPECT_EQ(sent[0].head, i == 0);
         EXPECT_EQ(sent[0].tail, i == 2);
-        EXPECT_GE(sent[0].injectTime, 0);
+        EXPECT_GE(h.pool.get(sent[0].desc).injectTime, 0);
     }
     EXPECT_TRUE(h.step().empty());
     EXPECT_EQ(h.ep->flitsInjected(), 3u);
@@ -191,14 +192,23 @@ TEST(EndpointSink, ReturnsCreditPerDrainedFlit)
 TEST(EndpointSink, RecordsCompletionOnTailWithLatency)
 {
     EndpointHarness h;
+    // Per-packet constants (size, createTime) ride in a pooled
+    // descriptor rather than the flit itself.
+    Packet p;
+    p.id = 4;
+    p.src = 0;
+    p.dest = 3;
+    p.size = 2;
+    p.createTime = 0;
+    p.measured = true;
+    const std::uint32_t d = h.pool.alloc(p);
     Flit head;
     head.dest = 3;
     head.vc = 0;
     head.head = true;
     head.tail = false;
     head.packetId = 4;
-    head.createTime = 0;
-    head.packetSize = 2;
+    head.desc = d;
     head.hops = 5;
     Flit tail = head;
     tail.head = false;

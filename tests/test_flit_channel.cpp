@@ -7,6 +7,7 @@
 
 #include "router/channel.hpp"
 #include "router/flit.hpp"
+#include "router/packet_pool.hpp"
 
 namespace footprint {
 namespace {
@@ -29,22 +30,45 @@ TEST(Flit, SingleFlitPacketIsHeadAndTail)
     const Flit f = makeFlit(makePacket(1), 0);
     EXPECT_TRUE(f.head);
     EXPECT_TRUE(f.tail);
-    EXPECT_EQ(f.packetSize, 1);
 }
 
 TEST(Flit, MultiFlitPacketStructure)
 {
     const Packet p = makePacket(4);
     for (int i = 0; i < 4; ++i) {
-        const Flit f = makeFlit(p, i);
+        const Flit f = makeFlit(p, i, /*desc=*/42);
         EXPECT_EQ(f.head, i == 0);
         EXPECT_EQ(f.tail, i == 3);
         EXPECT_EQ(f.packetId, p.id);
         EXPECT_EQ(f.src, p.src);
         EXPECT_EQ(f.dest, p.dest);
-        EXPECT_EQ(f.createTime, p.createTime);
-        EXPECT_TRUE(f.measured);
+        EXPECT_EQ(f.desc, 42u);
     }
+}
+
+TEST(Flit, DescriptorPoolCarriesPerPacketConstants)
+{
+    // Per-packet constants live in the pooled descriptor, not in the
+    // per-hop-copied flit.
+    PacketPool pool;
+    const Packet p = makePacket(4);
+    const std::uint32_t d = pool.alloc(p);
+    EXPECT_NE(d, 0u);
+    EXPECT_EQ(pool.get(d).packetSize, 4);
+    EXPECT_EQ(pool.get(d).createTime, 100);
+    EXPECT_TRUE(pool.get(d).measured);
+    EXPECT_EQ(pool.get(d).injectTime, -1);
+    EXPECT_EQ(pool.liveCount(), 1u);
+
+    // Released slots are recycled LIFO.
+    pool.release(d);
+    EXPECT_EQ(pool.liveCount(), 0u);
+    EXPECT_EQ(pool.alloc(makePacket(1)), d);
+}
+
+TEST(Flit, StaysSmallEnoughToCopyPerHop)
+{
+    EXPECT_LE(sizeof(Flit), 32u);
 }
 
 TEST(Flit, ToStringMentionsEndpoints)

@@ -196,15 +196,21 @@ INSTANTIATE_TEST_SUITE_P(
         return name;
     });
 
-TEST(Network, StatusBoardIsOneCycleDelayed)
+TEST(Network, StatusBoardPublishesDirectly)
 {
+    // The board is written only in the transmit phase, after every
+    // compute-phase read of the cycle, so a single direct-write array
+    // gives readers exactly last cycle's values — the one-cycle status
+    // delay — without double buffering.
     StatusBoard board;
     board.init(2);
-    board.publish(1, 0, 7);
-    // Not yet visible.
     EXPECT_EQ(board.idleCount(1, 0), 0);
-    board.flip();
+    board.publish(1, 0, 7);
     EXPECT_EQ(board.idleCount(1, 0), 7);
+    board.publish(1, 0, 3);
+    EXPECT_EQ(board.idleCount(1, 0), 3);
+    // Other slots are untouched.
+    EXPECT_EQ(board.idleCount(0, 0), 0);
 }
 
 TEST(Network, TooFewVcsForDuatoIsFatal)

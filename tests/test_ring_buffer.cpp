@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the fixed-capacity ring buffer that backs every FIFO
+ * on the simulator's per-cycle hot path: FIFO order across
+ * wrap-around, capacity rounding, both overflow policies, and the
+ * forward iterator used by audits and forensic dumps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "expect_panic.hpp"
+#include "sim/ring_buffer.hpp"
+
+namespace footprint {
+namespace {
+
+TEST(RingBuffer, DefaultConstructedHasZeroCapacity)
+{
+    RingBuffer<int> rb;
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.size(), 0u);
+    EXPECT_EQ(rb.capacity(), 0u);
+    // Pushing before reset() is a bug, not a silent allocation.
+    EXPECT_PANIC(rb.push_back(1), "overflow");
+}
+
+TEST(RingBuffer, CapacityRoundsUpToPowerOfTwo)
+{
+    RingBuffer<int> rb(3);
+    EXPECT_EQ(rb.capacity(), 4u);
+    rb.reset(5);
+    EXPECT_EQ(rb.capacity(), 8u);
+    rb.reset(8);
+    EXPECT_EQ(rb.capacity(), 8u);
+    rb.reset(1);
+    EXPECT_EQ(rb.capacity(), 1u);
+}
+
+TEST(RingBuffer, FifoOrderAcrossWrapAround)
+{
+    RingBuffer<int> rb(4);
+    for (int i = 0; i < 4; ++i)
+        rb.push_back(i);
+    EXPECT_TRUE(rb.full());
+    // Churn several times around the storage; order must hold even
+    // though head/tail wrap repeatedly.
+    int next_in = 4;
+    int next_out = 0;
+    for (int step = 0; step < 20; ++step) {
+        EXPECT_EQ(rb.front(), next_out);
+        rb.pop_front();
+        ++next_out;
+        rb.push_back(next_in++);
+        EXPECT_EQ(rb.back(), next_in - 1);
+        EXPECT_EQ(rb.size(), 4u);
+    }
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(rb.front(), next_out + i);
+        rb.pop_front();
+    }
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, IndexAndIteratorWalkFrontToBack)
+{
+    RingBuffer<std::string> rb(4);
+    rb.push_back("a");
+    rb.push_back("b");
+    rb.push_back("c");
+    rb.pop_front();
+    rb.push_back("d"); // storage order now wraps: [d][b][c][.]
+    rb.push_back("e");
+    EXPECT_EQ(rb[0], "b");
+    EXPECT_EQ(rb[1], "c");
+    EXPECT_EQ(rb[2], "d");
+    EXPECT_EQ(rb[3], "e");
+    std::vector<std::string> seen;
+    for (const std::string& s : rb)
+        seen.push_back(s);
+    EXPECT_EQ(seen, (std::vector<std::string>{"b", "c", "d", "e"}));
+}
+
+TEST(RingBuffer, FixedPolicyPanicsOnOverflow)
+{
+    RingBuffer<int> rb(2);
+    rb.push_back(1);
+    rb.push_back(2);
+    EXPECT_TRUE(rb.full());
+    EXPECT_PANIC(rb.push_back(3), "overflow");
+    // The failed push must not have corrupted the contents.
+    EXPECT_EQ(rb.size(), 2u);
+    EXPECT_EQ(rb.front(), 1);
+    EXPECT_EQ(rb.back(), 2);
+}
+
+TEST(RingBuffer, GrowablePolicyDoublesAndPreservesOrder)
+{
+    RingBuffer<int> rb(2, /*growable=*/true);
+    rb.push_back(0);
+    rb.push_back(1);
+    rb.pop_front();
+    rb.push_back(2); // wrapped before the growth below
+    for (int i = 3; i < 40; ++i)
+        rb.push_back(i);
+    EXPECT_EQ(rb.size(), 39u);
+    EXPECT_GE(rb.capacity(), 39u);
+    for (int i = 0; i < 39; ++i) {
+        EXPECT_EQ(rb.front(), i + 1);
+        rb.pop_front();
+    }
+}
+
+TEST(RingBuffer, AccessorsOnEmptyPanic)
+{
+    RingBuffer<int> rb(2);
+    EXPECT_PANIC(rb.pop_front(), "pop_front on empty");
+    EXPECT_PANIC(rb.front(), "front on empty");
+    EXPECT_PANIC(rb.back(), "back on empty");
+}
+
+TEST(RingBuffer, ClearKeepsCapacity)
+{
+    RingBuffer<int> rb(4);
+    rb.push_back(1);
+    rb.push_back(2);
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.capacity(), 4u);
+    rb.push_back(9);
+    EXPECT_EQ(rb.front(), 9);
+}
+
+} // namespace
+} // namespace footprint

@@ -177,7 +177,8 @@ TEST(RouterMicro, StallsWithoutDownstreamCredits)
                 break; // one flit per cycle on the link
             }
         }
-        for (const Flit& f : h.step()[portOf(Dir::East)])
+        const auto out = h.step();
+        for (const Flit& f : out[portOf(Dir::East)])
             ++consumed[static_cast<std::size_t>(f.vc)];
     }
     // Stalled: all east credits consumed, nothing more comes out.

@@ -22,6 +22,7 @@
 #include "network/traffic_manager.hpp"
 #include "obs/packet_tracer.hpp"
 #include "obs/telemetry.hpp"
+#include "router/packet_pool.hpp"
 #include "sim/config.hpp"
 #include "sim/log.hpp"
 
@@ -265,19 +266,22 @@ TEST(TelemetryHub, ConfigFromSimReadsKeys)
 
 // --------------------------------------------------------------- tracer
 
+/**
+ * Single-flit packet with its constants in a pooled descriptor, the
+ * way the tracer sees flits from a real network.
+ */
 Flit
-testFlit(std::uint64_t id, bool head, bool tail)
+testFlit(PacketPool& pool, std::uint64_t id)
 {
-    Flit f;
-    f.packetId = id;
-    f.src = 1;
-    f.dest = 6;
-    f.head = head;
-    f.tail = tail;
-    f.packetSize = 1;
-    f.createTime = 4;
-    f.injectTime = 5;
-    return f;
+    Packet p;
+    p.id = id;
+    p.src = 1;
+    p.dest = 6;
+    p.size = 1;
+    p.createTime = 4;
+    const std::uint32_t d = pool.alloc(p);
+    pool.get(d).injectTime = 5;
+    return makeFlit(p, 0, d);
 }
 
 TEST(PacketTracer, TracedFilterIsIdPrefix)
@@ -293,8 +297,10 @@ TEST(PacketTracer, TracedFilterIsIdPrefix)
 TEST(PacketTracer, CompletedPacketGoldenRecord)
 {
     std::ostringstream out;
+    PacketPool pool;
     PacketTracer tracer(out, 10);
-    const Flit f = testFlit(3, true, true);
+    tracer.setPool(&pool);
+    const Flit f = testFlit(pool, 3);
     // Two hops: one with a 2-cycle VA stall and a 1-cycle SA stall,
     // one that clears the minimum pipeline in a single cycle.
     tracer.onHopArrive(f, 1, 5);
@@ -319,9 +325,11 @@ TEST(PacketTracer, CompletedPacketGoldenRecord)
 TEST(PacketTracer, FlushEmitsIncompletePacketsInIdOrder)
 {
     std::ostringstream out;
+    PacketPool pool;
     PacketTracer tracer(out, 10);
-    tracer.onHopArrive(testFlit(7, true, true), 1, 5);
-    tracer.onHopArrive(testFlit(2, true, true), 1, 6);
+    tracer.setPool(&pool);
+    tracer.onHopArrive(testFlit(pool, 7), 1, 5);
+    tracer.onHopArrive(testFlit(pool, 2), 1, 6);
     tracer.flush();
     EXPECT_EQ(tracer.packetsInFlight(), 0u);
     const std::string text = out.str();
@@ -334,8 +342,10 @@ TEST(PacketTracer, FlushEmitsIncompletePacketsInIdOrder)
 TEST(PacketTracer, UntracedEjectIsIgnored)
 {
     std::ostringstream out;
+    PacketPool pool;
     PacketTracer tracer(out, 10);
-    tracer.onEject(testFlit(3, true, true), 6, 12);
+    tracer.setPool(&pool);
+    tracer.onEject(testFlit(pool, 3), 6, 12);
     EXPECT_EQ(tracer.packetsCompleted(), 0u);
     EXPECT_TRUE(out.str().empty());
 }

@@ -135,6 +135,7 @@ TEST(InputVc, LifecycleAndRelease)
     InputVc vc;
     EXPECT_EQ(vc.state, InputVc::State::Idle);
     EXPECT_TRUE(vc.empty());
+    vc.buffer.reset(4); // FIFOs start with zero capacity
     Flit f;
     f.head = true;
     vc.buffer.push_back(f);

@@ -25,6 +25,16 @@ Two modes:
 
        check_bench_regression.py --compare j1.json j4.json j8.json
 
+3. Micro-cycle gate (--micro) — validate a micro_cycle.json produced
+   by bench/micro_cycle and compare it against the baseline recorded
+   under "micro_cycle_baseline": per-config checksums must match the
+   baseline EXACTLY (they are machine-independent; any difference is a
+   behavioural change), and cycles/sec only gates on regression beyond
+   --max-speed-regress percent (wall clock is machine-dependent):
+
+       check_bench_regression.py --micro micro_cycle.json \
+           --baseline bench/micro_baseline.json
+
 Exit status is 0 when every check passes, 1 otherwise.
 """
 
@@ -178,6 +188,104 @@ def compare_mode(paths: list[str]) -> None:
     )
 
 
+MICRO_RESULT_FIELDS = {
+    "name": str,
+    "routing": str,
+    "load": (int, float),
+    "cycles": int,
+    "wall_seconds": (int, float),
+    "cycles_per_sec": (int, float),
+    "full_cycles_per_sec": (int, float),
+    "speedup": (int, float),
+    "checksum": str,
+}
+
+
+def validate_micro(path: str, doc: dict) -> None:
+    """Validate a micro_cycle document (kind=micro_cycle)."""
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want '{SCHEMA}'")
+    if doc.get("kind") != "micro_cycle":
+        fail(f"{path}: kind is {doc.get('kind')!r}, want 'micro_cycle'")
+    for key in ("run", "results"):
+        if key not in doc:
+            fail(f"{path}: missing top-level key '{key}'")
+    for key in ("mesh", "seed", "cycles"):
+        if key not in doc["run"]:
+            fail(f"{path}: run missing field '{key}'")
+    if not doc["results"]:
+        fail(f"{path}: results is empty")
+    for i, entry in enumerate(doc["results"]):
+        check_fields(path, f"results[{i}]", entry, MICRO_RESULT_FIELDS)
+    names = [e["name"] for e in doc["results"]]
+    if len(set(names)) != len(names):
+        fail(f"{path}: result names are not unique")
+    print(
+        f"OK: {path}: valid {SCHEMA} micro_cycle document "
+        f"({len(doc['results'])} configs)"
+    )
+
+
+def micro_mode(args: argparse.Namespace) -> None:
+    doc = load(args.micro)
+    validate_micro(args.micro, doc)
+    if args.baseline is None:
+        return
+
+    base_doc = load(args.baseline)
+    baseline = base_doc.get("micro_cycle_baseline")
+    if baseline is None:
+        fail(f"{args.baseline}: missing key 'micro_cycle_baseline'")
+
+    base = {e["name"]: e for e in baseline.get("results", [])}
+    cur = {e["name"]: e for e in doc["results"]}
+    if set(base) != set(cur):
+        missing = set(base) - set(cur)
+        extra = set(cur) - set(base)
+        fail(
+            f"micro_cycle configs differ from baseline "
+            f"(missing={sorted(missing)}, extra={sorted(extra)}) — "
+            f"re-record the baseline if the config grid changed"
+        )
+
+    print(
+        f"\n{'config':>18} {'baseline c/s':>13} {'current c/s':>12} "
+        f"{'change':>8}  checksum"
+    )
+    failures = []
+    for name in sorted(base):
+        ref = base[name]
+        now = cur[name]
+        mark = "ok"
+        if now["checksum"] != ref["checksum"]:
+            mark = "MISMATCH"
+            failures.append(
+                f"{name}: checksum {ref['checksum']} -> "
+                f"{now['checksum']} (simulation results changed)"
+            )
+        ref_cps = ref.get("cycles_per_sec", 0.0)
+        now_cps = now["cycles_per_sec"]
+        change = (
+            100.0 * (now_cps - ref_cps) / ref_cps if ref_cps else 0.0
+        )
+        if ref_cps and -change > args.max_speed_regress:
+            failures.append(
+                f"{name}: cycles/sec regressed {-change:.1f}% "
+                f"({ref_cps:.0f} -> {now_cps:.0f}, "
+                f"> {args.max_speed_regress:.1f}%)"
+            )
+        print(
+            f"{name:>18} {ref_cps:>13.0f} {now_cps:>12.0f} "
+            f"{change:>+7.1f}%  {mark}"
+        )
+
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        sys.exit(1)
+    print("OK: checksums match baseline; speed within threshold")
+
+
 def cell_key(entry: dict) -> tuple:
     return (entry["mesh"], entry["routing"], entry["traffic"])
 
@@ -297,6 +405,13 @@ def main() -> None:
         help="determinism mode: require all FILEs to be identical "
         "after stripping the 'timing' object",
     )
+    parser.add_argument(
+        "--micro",
+        metavar="FILE",
+        help="micro-cycle mode: validate a bench/micro_cycle artifact "
+        "and gate its checksums (exact) and cycles/sec (regression "
+        "only) against the 'micro_cycle_baseline' key of --baseline",
+    )
     args = parser.parse_args()
 
     if args.compare:
@@ -305,10 +420,15 @@ def main() -> None:
         if len(args.compare) < 2:
             parser.error("--compare needs at least two files")
         compare_mode(args.compare)
+    elif args.micro:
+        micro_mode(args)
     elif args.results:
         baseline_mode(args)
     else:
-        parser.error("give a results file or --compare FILE FILE...")
+        parser.error(
+            "give a results file, --micro FILE, or --compare FILE "
+            "FILE..."
+        )
 
 
 if __name__ == "__main__":
