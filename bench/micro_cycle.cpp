@@ -13,6 +13,14 @@
  *    (tools/check_bench_regression.py --micro) can pin the checksums
  *    exactly and watch throughput for regressions.
  *
+ * A fourth operating point (sat16: a 16x16 mesh near saturation) adds
+ * a thread axis: it is additionally run with step_mode=sharded at
+ * threads = 1, 2, and 4, each emitted as its own "@tN" result row.
+ * Every sharded checksum must equal the serial reference checksum —
+ * this binary exits nonzero on any divergence, and the CI gate
+ * cross-checks the rows again from the artifact — so the bench doubles
+ * as the determinism gate for parallel stepping.
+ *
  * Usage: micro_cycle [--cycles N] [--out FILE]
  *
  * The JSON artifact is a footprint.bench/1 document with
@@ -42,19 +50,27 @@ namespace {
 struct OperatingPoint
 {
     const char* name;
+    int meshW;
+    int meshH;
     double load;
+    /** Per-point cycle-budget multiplier (big meshes run shorter). */
+    double cycleScale;
+    /** Also run step_mode=sharded at each kThreadCounts entry. */
+    bool threadAxis;
 };
 
 constexpr OperatingPoint kPoints[] = {
-    {"idle", 0.0},
-    {"low", 0.10},
-    {"sat", 0.45},
+    {"idle", 8, 8, 0.0, 1.0, false},
+    {"low", 8, 8, 0.10, 1.0, false},
+    {"sat", 8, 8, 0.45, 1.0, false},
+    {"sat16", 16, 16, 0.25, 0.4, true},
 };
 
 constexpr const char* kRoutings[] = {"dor", "oddeven", "dbar",
                                      "footprint"};
 
-constexpr int kNodes = 64;
+constexpr int kThreadCounts[] = {1, 2, 4};
+
 constexpr std::uint64_t kSeed = 7;
 
 /** One (operating point, routing, step mode) measurement. */
@@ -85,14 +101,18 @@ class Fnv1a
 };
 
 RunOutcome
-runOne(const std::string& routing, double load, std::int64_t cycles,
-       const char* step_mode)
+runOne(const std::string& routing, const OperatingPoint& pt,
+       std::int64_t cycles, const char* step_mode, int threads)
 {
     SimConfig cfg = defaultConfig();
     cfg.set("routing", routing);
     cfg.set("step_mode", step_mode);
+    cfg.setInt("mesh_width", pt.meshW);
+    cfg.setInt("mesh_height", pt.meshH);
+    cfg.setInt("threads", threads);
     Network net(cfg);
 
+    const int nodes = pt.meshW * pt.meshH;
     Rng gen(kSeed);
     std::uint64_t id = 0;
     std::uint64_t drained = 0;
@@ -101,14 +121,15 @@ runOne(const std::string& routing, double load, std::int64_t cycles,
 
     const auto t0 = std::chrono::steady_clock::now();
     for (std::int64_t cycle = 0; cycle < cycles; ++cycle) {
-        if (load > 0.0) {
-            for (int n = 0; n < kNodes; ++n) {
-                if (gen.nextBool(load)) {
+        if (pt.load > 0.0) {
+            for (int n = 0; n < nodes; ++n) {
+                if (gen.nextBool(pt.load)) {
                     Packet p;
                     p.id = ++id;
                     p.src = n;
                     p.dest = static_cast<int>(
-                        gen.nextBounded(kNodes));
+                        gen.nextBounded(
+                            static_cast<std::uint64_t>(nodes)));
                     if (p.dest == n)
                         continue;
                     p.size = 1;
@@ -118,7 +139,7 @@ runOne(const std::string& routing, double load, std::int64_t cycles,
             }
         }
         net.step(cycle);
-        for (int n = 0; n < kNodes; ++n) {
+        for (int n = 0; n < nodes; ++n) {
             for (const EjectedPacket& p :
                  net.endpoint(n).drainEjected()) {
                 ++drained;
@@ -138,7 +159,7 @@ runOne(const std::string& routing, double load, std::int64_t cycles,
     sum.mix(drained);
     sum.mix(hops_sum);
     sum.mix(create_sum);
-    for (int n = 0; n < kNodes; ++n) {
+    for (int n = 0; n < nodes; ++n) {
         const Router::Counters& c = net.router(n).counters();
         sum.mix(c.vcAllocSuccess);
         sum.mix(c.vcAllocFail);
@@ -158,10 +179,12 @@ struct ResultRow
 {
     std::string name;
     std::string routing;
+    std::string mode;               ///< "activity" or "sharded"
+    int threads = 1;
     double load = 0.0;
     std::int64_t cycles = 0;
-    double wallSeconds = 0.0;       ///< activity mode
-    double cyclesPerSec = 0.0;      ///< activity mode
+    double wallSeconds = 0.0;       ///< measured mode
+    double cyclesPerSec = 0.0;      ///< measured mode
     double fullCyclesPerSec = 0.0;  ///< full (reference) mode
     std::uint64_t checksum = 0;
 };
@@ -180,22 +203,23 @@ writeJson(std::ostream& os, const std::vector<ResultRow>& rows,
           std::int64_t cycles)
 {
     os << "{\"schema\":\"footprint.bench/1\",\"kind\":\"micro_cycle\""
-       << ",\"run\":{\"mesh\":\"8x8\",\"seed\":" << kSeed
+       << ",\"run\":{\"mesh\":\"multi\",\"seed\":" << kSeed
        << ",\"cycles\":" << cycles << "},\"results\":[";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const ResultRow& r = rows[i];
         if (i > 0)
             os << ',';
-        char buf[256];
+        char buf[320];
         std::snprintf(
             buf, sizeof(buf),
-            "{\"name\":\"%s\",\"routing\":\"%s\",\"load\":%.2f,"
+            "{\"name\":\"%s\",\"routing\":\"%s\",\"mode\":\"%s\","
+            "\"threads\":%d,\"load\":%.2f,"
             "\"cycles\":%lld,\"wall_seconds\":%.6f,"
             "\"cycles_per_sec\":%.1f,\"full_cycles_per_sec\":%.1f,"
             "\"speedup\":%.3f,\"checksum\":\"%s\"}",
-            r.name.c_str(), r.routing.c_str(), r.load,
-            static_cast<long long>(r.cycles), r.wallSeconds,
-            r.cyclesPerSec, r.fullCyclesPerSec,
+            r.name.c_str(), r.routing.c_str(), r.mode.c_str(),
+            r.threads, r.load, static_cast<long long>(r.cycles),
+            r.wallSeconds, r.cyclesPerSec, r.fullCyclesPerSec,
             r.fullCyclesPerSec > 0.0
                 ? r.cyclesPerSec / r.fullCyclesPerSec
                 : 0.0,
@@ -203,6 +227,41 @@ writeJson(std::ostream& os, const std::vector<ResultRow>& rows,
         os << buf;
     }
     os << "]}\n";
+}
+
+ResultRow
+makeRow(const OperatingPoint& pt, const char* routing,
+        const std::string& name, const char* mode, int threads,
+        std::int64_t cycles, const RunOutcome& run,
+        const RunOutcome& full)
+{
+    ResultRow row;
+    row.name = name;
+    row.routing = routing;
+    row.mode = mode;
+    row.threads = threads;
+    row.load = pt.load;
+    row.cycles = cycles;
+    row.wallSeconds = run.wallSeconds;
+    row.cyclesPerSec = run.wallSeconds > 0.0
+        ? static_cast<double>(cycles) / run.wallSeconds
+        : 0.0;
+    row.fullCyclesPerSec = full.wallSeconds > 0.0
+        ? static_cast<double>(cycles) / full.wallSeconds
+        : 0.0;
+    row.checksum = run.checksum;
+    return row;
+}
+
+void
+printRow(const ResultRow& row)
+{
+    std::printf("%-20s %12.0f %12.0f %7.2fx  %s\n", row.name.c_str(),
+                row.fullCyclesPerSec, row.cyclesPerSec,
+                row.fullCyclesPerSec > 0.0
+                    ? row.cyclesPerSec / row.fullCyclesPerSec
+                    : 0.0,
+                hex64(row.checksum).c_str());
 }
 
 int
@@ -226,14 +285,16 @@ run(int argc, char** argv)
 
     setQuiet(true);
     std::vector<ResultRow> rows;
-    std::printf("%-16s %12s %12s %8s  %s\n", "config",
-                "full c/s", "activity c/s", "speedup", "checksum");
+    std::printf("%-20s %12s %12s %8s  %s\n", "config",
+                "full c/s", "mode c/s", "speedup", "checksum");
     for (const OperatingPoint& pt : kPoints) {
+        const auto pt_cycles = static_cast<std::int64_t>(
+            static_cast<double>(cycles) * pt.cycleScale);
         for (const char* routing : kRoutings) {
             const RunOutcome full =
-                runOne(routing, pt.load, cycles, "full");
+                runOne(routing, pt, pt_cycles, "full", 1);
             const RunOutcome act =
-                runOne(routing, pt.load, cycles, "activity");
+                runOne(routing, pt, pt_cycles, "activity", 1);
             if (full.checksum != act.checksum) {
                 std::fprintf(
                     stderr,
@@ -244,29 +305,33 @@ run(int argc, char** argv)
                     hex64(full.checksum).c_str());
                 return 1;
             }
-            ResultRow row;
-            row.name = std::string(pt.name) + "/" + routing;
-            row.routing = routing;
-            row.load = pt.load;
-            row.cycles = cycles;
-            row.wallSeconds = act.wallSeconds;
-            row.cyclesPerSec =
-                act.wallSeconds > 0.0
-                    ? static_cast<double>(cycles) / act.wallSeconds
-                    : 0.0;
-            row.fullCyclesPerSec =
-                full.wallSeconds > 0.0
-                    ? static_cast<double>(cycles) / full.wallSeconds
-                    : 0.0;
-            row.checksum = act.checksum;
-            std::printf("%-16s %12.0f %12.0f %7.2fx  %s\n",
-                        row.name.c_str(), row.fullCyclesPerSec,
-                        row.cyclesPerSec,
-                        row.fullCyclesPerSec > 0.0
-                            ? row.cyclesPerSec / row.fullCyclesPerSec
-                            : 0.0,
-                        hex64(row.checksum).c_str());
-            rows.push_back(std::move(row));
+            const std::string base =
+                std::string(pt.name) + "/" + routing;
+            rows.push_back(makeRow(pt, routing, base, "activity", 1,
+                                   pt_cycles, act, full));
+            printRow(rows.back());
+            if (!pt.threadAxis)
+                continue;
+            for (const int threads : kThreadCounts) {
+                const RunOutcome sharded = runOne(
+                    routing, pt, pt_cycles, "sharded", threads);
+                if (sharded.checksum != full.checksum) {
+                    std::fprintf(
+                        stderr,
+                        "FAIL: %s/%s: sharded stepping with "
+                        "threads=%d diverged from full stepping "
+                        "(checksum %s vs %s)\n",
+                        pt.name, routing, threads,
+                        hex64(sharded.checksum).c_str(),
+                        hex64(full.checksum).c_str());
+                    return 1;
+                }
+                rows.push_back(makeRow(
+                    pt, routing,
+                    base + "@t" + std::to_string(threads), "sharded",
+                    threads, pt_cycles, sharded, full));
+                printRow(rows.back());
+            }
         }
     }
 

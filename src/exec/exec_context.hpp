@@ -20,9 +20,10 @@
 #ifndef FOOTPRINT_EXEC_EXEC_CONTEXT_HPP
 #define FOOTPRINT_EXEC_EXEC_CONTEXT_HPP
 
+#include <exception>
 #include <functional>
-#include <future>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "exec/thread_pool.hpp"
@@ -45,36 +46,46 @@ class ExecContext
 
     /**
      * Run every task and return the results in task order. Parallel
-     * contexts execute tasks on the pool; the first exception (in task
-     * order) is rethrown after all tasks have finished, so no job is
-     * abandoned mid-run.
+     * contexts fan out through ThreadPool::parallelFor with
+     * item-granularity chunks — simulation jobs vary wildly in
+     * duration (a saturated ladder point costs many times a zero-load
+     * one), so per-item chunks let the pool's FIFO queue balance load
+     * dynamically while the calling thread works instead of sleeping
+     * on futures. The first exception (in task order) is rethrown
+     * after all tasks have finished, so no job is abandoned mid-run.
      */
     template <typename T>
     std::vector<T>
     map(std::vector<std::function<T()>> tasks)
     {
+        const std::size_t n = tasks.size();
         std::vector<T> results;
-        results.reserve(tasks.size());
+        results.reserve(n);
         if (!pool_) {
             for (auto& task : tasks)
                 results.push_back(task());
             return results;
         }
-        std::vector<std::future<T>> futures;
-        futures.reserve(tasks.size());
-        for (auto& task : tasks)
-            futures.push_back(pool_->submit(std::move(task)));
-        std::exception_ptr first_error;
-        for (auto& f : futures) {
-            try {
-                results.push_back(f.get());
-            } catch (...) {
-                if (!first_error)
-                    first_error = std::current_exception();
-            }
+        std::vector<std::optional<T>> staging(n);
+        std::vector<std::exception_ptr> errors(n);
+        pool_->parallelFor(
+            n,
+            [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    try {
+                        staging[i].emplace(tasks[i]());
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                }
+            },
+            /*chunks=*/n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (errors[i])
+                std::rethrow_exception(errors[i]);
         }
-        if (first_error)
-            std::rethrow_exception(first_error);
+        for (std::size_t i = 0; i < n; ++i)
+            results.push_back(std::move(*staging[i]));
         return results;
     }
 

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reusable spin/futex barrier for phase-synchronized worker crews.
+ *
+ * A SpinBarrier rendezvouses a fixed number of parties; every
+ * arriveAndWait() blocks until all parties of the current round have
+ * arrived, then releases them together. Rounds are tracked by an epoch
+ * counter (a counting variant of sense reversal), so the barrier is
+ * immediately reusable: a thread racing ahead into the next round
+ * cannot confuse a straggler still leaving the previous one.
+ *
+ * Waiters spin briefly (cheap when all parties run on their own core
+ * and phases are microseconds apart, as in sharded network stepping)
+ * and then park on the epoch word via C++20 atomic wait — a futex on
+ * Linux — so an oversubscribed run (more parties than cores) degrades
+ * to sleeping instead of burning whole timeslices. When the barrier is
+ * constructed with more parties than hardware threads the spin phase
+ * is skipped entirely: spinning can only delay the thread everyone is
+ * waiting for.
+ *
+ * Memory ordering: every write made before arriveAndWait() by any
+ * party is visible to every party after it returns (release/acquire
+ * through the arrival counter and the epoch word).
+ */
+
+#ifndef FOOTPRINT_EXEC_SPIN_BARRIER_HPP
+#define FOOTPRINT_EXEC_SPIN_BARRIER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace footprint {
+
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(int parties = 1) { reset(parties); }
+
+    SpinBarrier(const SpinBarrier&) = delete;
+    SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+    /**
+     * Set the party count for subsequent rounds. Must not be called
+     * while any thread is inside arriveAndWait().
+     */
+    void
+    reset(int parties)
+    {
+        parties_ = parties < 1 ? 1 : parties;
+        unsigned hw = std::thread::hardware_concurrency();
+        if (hw == 0)
+            hw = 1;
+        spinLimit_ =
+            static_cast<unsigned>(parties_) <= hw ? kSpinIters : 0;
+    }
+
+    int parties() const { return parties_; }
+
+    /** Block until all parties have arrived at this round. */
+    void
+    arriveAndWait()
+    {
+        const std::uint32_t epoch =
+            epoch_.load(std::memory_order_relaxed);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1
+            == parties_) {
+            // Last arrival: open the next round. The counter reset is
+            // ordered before the epoch bump, so a party observing the
+            // new epoch can immediately arrive at the next round.
+            arrived_.store(0, std::memory_order_relaxed);
+            epoch_.fetch_add(1, std::memory_order_release);
+            epoch_.notify_all();
+            return;
+        }
+        for (int i = 0; i < spinLimit_; ++i) {
+            if (epoch_.load(std::memory_order_acquire) != epoch)
+                return;
+            cpuRelax();
+        }
+        while (epoch_.load(std::memory_order_acquire) == epoch)
+            epoch_.wait(epoch, std::memory_order_acquire);
+    }
+
+  private:
+    static constexpr int kSpinIters = 4096;
+
+    static void
+    cpuRelax()
+    {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#elif defined(__aarch64__)
+        asm volatile("yield");
+#else
+        std::this_thread::yield();
+#endif
+    }
+
+    std::atomic<std::uint32_t> epoch_{0};
+    std::atomic<int> arrived_{0};
+    int parties_ = 1;
+    int spinLimit_ = kSpinIters;
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_EXEC_SPIN_BARRIER_HPP

@@ -1,5 +1,8 @@
 #include "exec/thread_pool.hpp"
 
+#include <atomic>
+#include <exception>
+
 #include "sim/log.hpp"
 
 namespace footprint {
@@ -35,6 +38,64 @@ ThreadPool::post(std::function<void()> fn)
         queue_.push_back(std::move(fn));
     }
     wake_.notify_one();
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t chunks)
+{
+    FP_ASSERT(fn != nullptr, "ThreadPool::parallelFor needs a callable");
+    if (n == 0)
+        return;
+    std::size_t nchunks = chunks == 0 ? size() + std::size_t{1} : chunks;
+    if (nchunks > n)
+        nchunks = n;
+    if (nchunks <= 1) {
+        fn(0, n);
+        return;
+    }
+
+    // Lifetime discipline: the caller returns as soon as it observes
+    // the countdown at zero, which can be *before* the last worker
+    // executes its post-decrement notify. So nothing a chunk touches
+    // after its decrement may live on this stack frame: the countdown
+    // is pool state, and runChunk captures everything by value
+    // (posted copies own their captures), so the only post-decrement
+    // reads are the task's own closure and the pool itself — both of
+    // which outlive the call. errors/fn are only touched before the
+    // decrement, and the acquire load below pairs with the acq_rel
+    // decrements to publish the error slots back to the caller. A
+    // stale notify landing in a later call is a harmless spurious
+    // wake (the wait loop re-checks).
+    std::vector<std::exception_ptr> errors(nchunks);
+    forRemaining_.store(nchunks, std::memory_order_relaxed);
+    auto runChunk = [pool = this, fnp = &fn, errs = errors.data(), n,
+                     nchunks](std::size_t c) {
+        try {
+            (*fnp)(c * n / nchunks, (c + 1) * n / nchunks);
+        } catch (...) {
+            errs[c] = std::current_exception();
+        }
+        if (pool->forRemaining_.fetch_sub(
+                1, std::memory_order_acq_rel)
+            == 1)
+            pool->forRemaining_.notify_all();
+    };
+    for (std::size_t c = 1; c < nchunks; ++c)
+        post([runChunk, c]() { runChunk(c); });
+    runChunk(0);
+    for (std::size_t left =
+             forRemaining_.load(std::memory_order_acquire);
+         left != 0;
+         left = forRemaining_.load(std::memory_order_acquire))
+        forRemaining_.wait(left, std::memory_order_acquire);
+
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        if (errors[c])
+            std::rethrow_exception(errors[c]);
+    }
 }
 
 unsigned

@@ -12,6 +12,7 @@
 #ifndef FOOTPRINT_EXEC_THREAD_POOL_HPP
 #define FOOTPRINT_EXEC_THREAD_POOL_HPP
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -60,6 +61,30 @@ class ThreadPool
     /** Enqueue fire-and-forget work (FIFO with submit()). */
     void post(std::function<void()> fn);
 
+    /**
+     * Run fn(begin, end) over every chunk of [0, n) and return when
+     * all chunks are done. Chunking is static: the range is split into
+     * @p chunks near-equal contiguous pieces (0 = one per worker plus
+     * one for the caller, the default); pass chunks == n for
+     * item-granularity chunks that the FIFO queue balances
+     * dynamically. The calling thread executes chunk 0 itself, so a
+     * pool of W workers runs up to W + 1 chunks concurrently.
+     *
+     * Exceptions thrown by @p fn are captured per chunk; the first (in
+     * chunk order) is rethrown after every chunk has finished.
+     *
+     * Chunks are guaranteed to be *concurrently resident* — required
+     * when @p fn synchronizes across chunks with a barrier — only on
+     * an otherwise-idle pool with chunks <= size() + 1. Calls must
+     * not overlap on one pool: the chunk countdown is pool state (it
+     * must outlive the call's stack frame — the last worker's wakeup
+     * notification can land after the caller has already observed
+     * completion and returned).
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t, std::size_t)>& fn,
+                     std::size_t chunks = 0);
+
     /** Hardware concurrency, clamped to at least 1. */
     static unsigned hardwareThreads();
 
@@ -71,6 +96,8 @@ class ThreadPool
     std::mutex mutex_;
     std::condition_variable wake_;
     bool stopping_ = false;
+    /** parallelFor's chunk countdown; see that method's lifetime note. */
+    std::atomic<std::size_t> forRemaining_{0};
 };
 
 } // namespace footprint

@@ -81,7 +81,7 @@ Endpoint::startNextPacket()
         if (state.allocatable(params_.atomicVcAlloc)) {
             current_ = sourceQueue_.front();
             sourceQueue_.pop_front();
-            currentDesc_ = pool_->alloc(current_);
+            currentDesc_ = pool_->allocFrom(node_, current_);
             state.allocate(current_.dest);
             currentVc_ = vc;
             cursor_ = 0;
@@ -156,8 +156,13 @@ Endpoint::computePhase(std::int64_t cycle)
             p.measured = d.measured;
             ejected_.push_back(p);
             // The tail has left the network: the packet's descriptor
-            // slot can be recycled.
-            pool_->release(f.desc);
+            // slot can be recycled. The slot belongs to the *source*
+            // endpoint's segment, so under sharded stepping it must
+            // not be returned from here (see setDeferReleases).
+            if (deferReleases_)
+                pendingRelease_.push_back(f.desc);
+            else
+                pool_->release(f.desc);
         }
     }
 }

@@ -95,6 +95,27 @@ class Endpoint
     }
 
     /**
+     * Defer descriptor releases until flushReleases() instead of
+     * returning them to the pool at ejection. The Network turns this
+     * on for every endpoint: an ejected packet's descriptor lives in
+     * its *source* endpoint's pool segment, so releasing it inline
+     * would race that segment's owner under sharded stepping — and
+     * flushing from a serial end-of-step epilogue in node order keeps
+     * free-list contents identical across step modes and thread
+     * counts. Off by default for standalone use.
+     */
+    void setDeferReleases(bool on) { deferReleases_ = on; }
+
+    /** Return deferred releases to the pool (serial contexts only). */
+    void
+    flushReleases()
+    {
+        for (const std::uint32_t desc : pendingRelease_)
+            pool_->release(desc);
+        pendingRelease_.clear();
+    }
+
+    /**
      * True when stepping this endpoint next cycle could change state:
      * a packet mid-injection or queued, flits buffered in the sink, or
      * anything in flight on the incoming flit/credit pipes. Quiescent
@@ -179,6 +200,8 @@ class Endpoint
     int sinkFlits_ = 0;  ///< total flits across sink VCs
     int drainHint_ = 0;
     std::vector<EjectedPacket> ejected_;
+    bool deferReleases_ = false;
+    std::vector<std::uint32_t> pendingRelease_;
 
     std::uint64_t flitsInjected_ = 0;
     std::uint64_t flitsEjected_ = 0;

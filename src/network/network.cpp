@@ -62,12 +62,25 @@ Network::Network(const SimConfig& cfg)
         stepMode_ = StepMode::Full;
     else if (mode == "verify")
         stepMode_ = StepMode::Verify;
+    else if (mode == "sharded")
+        stepMode_ = StepMode::Sharded;
     else {
         std::string msg = "unknown step_mode '";
         msg += mode;
-        msg += "' (want activity, full, or verify)";
+        msg += "' (want activity, full, verify, or sharded)";
         fatal(msg);
     }
+
+    threads_ = cfg.contains("threads")
+        ? static_cast<int>(cfg.getInt("threads"))
+        : 1;
+    if (threads_ < 1)
+        fatal("threads must be >= 1");
+    const int shard_cfg = cfg.contains("shards")
+        ? static_cast<int>(cfg.getInt("shards"))
+        : 0;
+    if (shard_cfg < 0)
+        fatal("shards must be >= 0 (0 = one per thread)");
 
     const int n = mesh_.numNodes();
     const auto seed = static_cast<std::uint64_t>(cfg.getInt("seed"));
@@ -75,6 +88,9 @@ Network::Network(const SimConfig& cfg)
 
     status_.init(n);
     nodeOutChannels_.resize(static_cast<std::size_t>(n));
+    // One descriptor segment per source endpoint, created up front so
+    // parallel phases never grow the segment table.
+    pool_.initSegments(n);
 
     EndpointParams ep;
     ep.numVcs = params_.numVcs;
@@ -90,6 +106,11 @@ Network::Network(const SimConfig& cfg)
         endpoints_.push_back(
             std::make_unique<Endpoint>(node, ep, seed, &pool_));
         endpoints_.back()->setWakeHook(&active_, endpointComp(node));
+        // Releases flush from the serial end-of-step epilogue in node
+        // order in *every* step mode, so descriptor free lists — and
+        // hence allocation sequences — are identical across modes and
+        // thread counts.
+        endpoints_.back()->setDeferReleases(true);
     }
 
     // Inter-router links: for each node, wire East and North links (the
@@ -143,6 +164,39 @@ Network::Network(const SimConfig& cfg)
     }
 
     buildWakeGraph();
+    if (stepMode_ == StepMode::Sharded)
+        buildShards(threads_, shard_cfg);
+}
+
+void
+Network::buildShards(int threads, int shards)
+{
+    const int n = mesh_.numNodes();
+    int num = shards == 0 ? threads : shards;
+    if (num > n)
+        num = n;
+    // Partition the row-major node space into near-equal contiguous
+    // bands. Row-major ids make a band a set of adjacent rows (plus
+    // partial rows at the seams), so most links stay shard-internal.
+    // A shard owns both the routers and the endpoints of its band:
+    // component ids 2k/2k+1 keep each node's pair in one shard.
+    shards_.resize(static_cast<std::size_t>(num));
+    for (int s = 0; s < num; ++s) {
+        const int nodeBegin =
+            static_cast<int>(static_cast<std::int64_t>(s) * n / num);
+        const int nodeEnd = static_cast<int>(
+            static_cast<std::int64_t>(s + 1) * n / num);
+        shards_[static_cast<std::size_t>(s)].compBegin = 2 * nodeBegin;
+        shards_[static_cast<std::size_t>(s)].compEnd = 2 * nodeEnd;
+        shards_[static_cast<std::size_t>(s)].active.reserve(
+            static_cast<std::size_t>(2 * (nodeEnd - nodeBegin)));
+    }
+    shardChunks_ = threads < num ? threads : num;
+    barrier_.reset(shardChunks_);
+    // The calling thread is crew member 0; the pool carries the rest.
+    if (shardChunks_ > 1)
+        crew_ = std::make_unique<ThreadPool>(
+            static_cast<unsigned>(shardChunks_ - 1));
 }
 
 void
@@ -189,23 +243,33 @@ Network::componentHasPendingWork(int comp) const
 }
 
 void
-Network::stepPhases(const std::vector<int>& comps, std::int64_t cycle)
+Network::phaseReceive(const std::vector<int>& comps,
+                      std::int64_t cycle)
 {
-    // Each phase is a barrier over the whole list, exactly as full
-    // stepping runs them; comps is sorted, so the visit order within a
-    // phase matches full stepping's node order too.
     for (const int c : comps) {
         if (c & 1)
             endpoints_[idx(c >> 1)]->receivePhase(cycle);
         else
             routers_[idx(c >> 1)]->receivePhase(cycle);
     }
+}
+
+void
+Network::phaseCompute(const std::vector<int>& comps,
+                      std::int64_t cycle)
+{
     for (const int c : comps) {
         if (c & 1)
             endpoints_[idx(c >> 1)]->computePhase(cycle);
         else
             routers_[idx(c >> 1)]->computePhase(cycle);
     }
+}
+
+void
+Network::phaseTransmit(const std::vector<int>& comps,
+                       std::int64_t cycle)
+{
     for (const int c : comps) {
         if (c & 1)
             continue;
@@ -220,6 +284,17 @@ Network::stepPhases(const std::vector<int>& comps, std::int64_t cycle)
         for (int port = 0; port < kNumPorts; ++port)
             status_.publish(node, port, r.idleVcCount(port));
     }
+}
+
+void
+Network::stepPhases(const std::vector<int>& comps, std::int64_t cycle)
+{
+    // Each phase is a barrier over the whole list, exactly as full
+    // stepping runs them; comps is sorted, so the visit order within a
+    // phase matches full stepping's node order too.
+    phaseReceive(comps, cycle);
+    phaseCompute(comps, cycle);
+    phaseTransmit(comps, cycle);
 }
 
 void
@@ -247,6 +322,124 @@ Network::stepActivity(std::int64_t cycle, bool contiguous)
     const std::vector<int>& act = active_.beginCycle();
     stepPhases(act, cycle);
     rescheduleAfterStep(act);
+    finishComps(act);
+}
+
+template <typename Fn>
+void
+Network::runShardPhase(Fn&& fn)
+{
+    // Phase bodies run inside try/catch so a panicking invariant
+    // (FP_ASSERT -> InvariantError) cannot strand the other crew
+    // members at a barrier: the throwing worker records the error,
+    // everyone keeps arriving at the remaining barriers as no-ops, and
+    // stepSharded rethrows after the join.
+    if (shardFailed_.load(std::memory_order_relaxed))
+        return;
+    try {
+        fn();
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(shardErrMutex_);
+        if (!shardError_)
+            shardError_ = std::current_exception();
+        shardFailed_.store(true, std::memory_order_relaxed);
+    }
+}
+
+void
+Network::shardWorker(std::size_t sBegin, std::size_t sEnd,
+                     std::int64_t cycle)
+{
+    // Drain + receive share one barrier window: receivePhase only pops
+    // channels (it never send()s), so the first wake of this cycle is
+    // raised in a compute phase — strictly after the barrier below —
+    // and no drain can swallow a cycle-N wake into cycle N's list.
+    runShardPhase([&] {
+        for (std::size_t s = sBegin; s < sEnd; ++s) {
+            Shard& sh = shards_[s];
+            sh.active.clear();
+            active_.drainRange(sh.compBegin, sh.compEnd, sh.active);
+            phaseReceive(sh.active, cycle);
+        }
+    });
+    barrier_.arriveAndWait();
+    // Compute reads cycle-N channel/status state and commits sends for
+    // cycle N+latency; the barrier above guarantees every receive (and
+    // drain) finished first, the one below orders it before transmit's
+    // status publishes.
+    runShardPhase([&] {
+        for (std::size_t s = sBegin; s < sEnd; ++s)
+            phaseCompute(shards_[s].active, cycle);
+    });
+    barrier_.arriveAndWait();
+    runShardPhase([&] {
+        for (std::size_t s = sBegin; s < sEnd; ++s)
+            phaseTransmit(shards_[s].active, cycle);
+    });
+    barrier_.arriveAndWait();
+    // Self-sustain wakes read input pipes other shards wrote during
+    // transmit, hence the barrier above. Wakes target cycle N+1's
+    // bitmap, which nobody drains until after the join.
+    runShardPhase([&] {
+        for (std::size_t s = sBegin; s < sEnd; ++s)
+            rescheduleAfterStep(shards_[s].active);
+    });
+}
+
+void
+Network::stepSharded(std::int64_t cycle, bool contiguous)
+{
+    if (!contiguous)
+        active_.wakeAll();
+    shardFailed_.store(false, std::memory_order_relaxed);
+    shardError_ = nullptr;
+    if (shardChunks_ == 1) {
+        shardWorker(0, shards_.size(), cycle);
+    } else {
+        crew_->parallelFor(
+            shards_.size(),
+            [this, cycle](std::size_t b, std::size_t e) {
+                shardWorker(b, e, cycle);
+            },
+            static_cast<std::size_t>(shardChunks_));
+    }
+    if (shardError_)
+        std::rethrow_exception(shardError_);
+    // Serial epilogue, identical to the serial modes' finishComps over
+    // the concatenated (ascending) shard lists: all flushes strictly
+    // before all refills, so free-list contents match serial stepping
+    // slot for slot.
+    for (const Shard& sh : shards_) {
+        for (const int c : sh.active) {
+            if (c & 1)
+                endpoints_[idx(c >> 1)]->flushReleases();
+        }
+    }
+    for (const Shard& sh : shards_) {
+        for (const int c : sh.active) {
+            if (c & 1)
+                pool_.refill(c >> 1);
+        }
+    }
+}
+
+void
+Network::finishComps(const std::vector<int>& comps)
+{
+    // Serial end-of-step epilogue: return this cycle's deferred
+    // descriptor releases in node order, then top every touched
+    // segment back up to >= 1 free slot so the next cycle's
+    // allocations cannot grow a slot array mid-phase. Components that
+    // were not stepped have nothing to flush and a non-empty free
+    // list, so iterating only the stepped list is mode-independent.
+    for (const int c : comps) {
+        if (c & 1)
+            endpoints_[idx(c >> 1)]->flushReleases();
+    }
+    for (const int c : comps) {
+        if (c & 1)
+            pool_.refill(c >> 1);
+    }
 }
 
 void
@@ -272,22 +465,43 @@ Network::stepVerify(std::int64_t cycle, bool contiguous)
     // the same cycle the active list would have produced.
     stepPhases(fullOrder_, cycle);
     rescheduleAfterStep(fullOrder_);
+    finishComps(fullOrder_);
 }
 
 void
 Network::step(std::int64_t cycle)
 {
-    if (stepMode_ == StepMode::Full) {
-        stepPhases(fullOrder_, cycle);
-        return;
-    }
     const bool contiguous = haveStepped_ && cycle == lastCycle_ + 1;
     lastCycle_ = cycle;
     haveStepped_ = true;
-    if (stepMode_ == StepMode::Verify)
-        stepVerify(cycle, contiguous);
-    else
+    switch (stepMode_) {
+    case StepMode::Full:
+        stepPhases(fullOrder_, cycle);
+        finishComps(fullOrder_);
+        break;
+    case StepMode::Activity:
         stepActivity(cycle, contiguous);
+        break;
+    case StepMode::Verify:
+        stepVerify(cycle, contiguous);
+        break;
+    case StepMode::Sharded:
+        if (tracerAttached_) {
+            // The packet tracer mutates shared trace state from
+            // router/endpoint hooks *during* phases; keep its event
+            // ordering exact by stepping serially (results are
+            // bit-identical either way).
+            if (!warnedTracerFallback_) {
+                warn("packet tracer attached: sharded stepping falls "
+                     "back to serial activity stepping");
+                warnedTracerFallback_ = true;
+            }
+            stepActivity(cycle, contiguous);
+        } else {
+            stepSharded(cycle, contiguous);
+        }
+        break;
+    }
 }
 
 std::int64_t
@@ -364,6 +578,7 @@ Network::attachTelemetry(TelemetryHub& hub)
             r->setTracer(tracer);
         for (auto& e : endpoints_)
             e->setTracer(tracer);
+        tracerAttached_ = true;
     }
     if (!hub.samplingEnabled())
         return;

@@ -8,10 +8,15 @@
 #define FOOTPRINT_NETWORK_NETWORK_HPP
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "exec/spin_barrier.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/active_set.hpp"
 #include "network/endpoint.hpp"
 #include "router/packet_pool.hpp"
@@ -52,6 +57,7 @@ enum class StepMode {
     Full,      ///< step every router and endpoint every cycle
     Activity,  ///< step only components on the active list
     Verify,    ///< full stepping, cross-checking the active list
+    Sharded,   ///< activity stepping, shards in parallel (bit-identical)
 };
 
 /**
@@ -167,11 +173,23 @@ class Network
     CreditChannel* newCreditChannel(int latency);
 
     void buildWakeGraph();
+    void buildShards(int threads, int shards);
     bool componentHasPendingWork(int comp) const;
+    void phaseReceive(const std::vector<int>& comps,
+                      std::int64_t cycle);
+    void phaseCompute(const std::vector<int>& comps,
+                      std::int64_t cycle);
+    void phaseTransmit(const std::vector<int>& comps,
+                       std::int64_t cycle);
     void stepPhases(const std::vector<int>& comps, std::int64_t cycle);
     void rescheduleAfterStep(const std::vector<int>& comps);
     void stepActivity(std::int64_t cycle, bool contiguous);
     void stepVerify(std::int64_t cycle, bool contiguous);
+    void stepSharded(std::int64_t cycle, bool contiguous);
+    void shardWorker(std::size_t sBegin, std::size_t sEnd,
+                     std::int64_t cycle);
+    template <typename Fn> void runShardPhase(Fn&& fn);
+    void finishComps(const std::vector<int>& comps);
 
     Mesh mesh_;
     RouterParams params_;
@@ -197,6 +215,30 @@ class Network
     bool haveStepped_ = false;
     std::vector<int> fullOrder_;       ///< all component ids, sorted
     std::vector<std::uint8_t> verifyMark_;  ///< scratch (verify mode)
+
+    // Sharded stepping state (step_mode=sharded; see DESIGN.md §13).
+    // The mesh is partitioned into spatially contiguous node bands;
+    // each shard owns the routers *and* endpoints of its band, so a
+    // shard id range is a contiguous component id range. Workers step
+    // chunks of shards through barrier-aligned phases; the calling
+    // thread is crew member 0 (crew_ holds the other threads-1).
+    struct Shard
+    {
+        int compBegin = 0;         ///< first component id (inclusive)
+        int compEnd = 0;           ///< one past the last component id
+        std::vector<int> active;   ///< this cycle's drained wake list
+    };
+
+    int threads_ = 1;              ///< worker count (config "threads")
+    int shardChunks_ = 1;          ///< min(threads, shards) = parties
+    std::vector<Shard> shards_;
+    std::unique_ptr<ThreadPool> crew_;
+    SpinBarrier barrier_;
+    std::exception_ptr shardError_;
+    std::mutex shardErrMutex_;
+    std::atomic<bool> shardFailed_{false};
+    bool tracerAttached_ = false;
+    bool warnedTracerFallback_ = false;
 };
 
 } // namespace footprint

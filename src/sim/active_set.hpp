@@ -12,17 +12,29 @@
  * order identical makes per-component RNG and pool-allocation
  * sequences trivially bit-identical too.)
  *
- * The pending set is a bitmap, so wake() is one OR (idempotent and
- * duplicate-free by construction) and beginCycle() costs one pass over
- * numComponents/64 words plus one push per active component — no
- * sorting.
+ * The pending set is a bitmap of atomic words, so wake() is safe from
+ * concurrent shard workers: setting a bit is an idempotent,
+ * commutative OR, which makes the drained bitmap independent of the
+ * order wakes land in — the cornerstone of sharded stepping's
+ * determinism. Relaxed ordering suffices because every drain is
+ * separated from the wakes it collects by a phase barrier or a
+ * fork/join edge. On the serial hot path wake() stays cheap via
+ * test-and-test-and-set: most wakes re-set an already-set bit and
+ * skip the RMW entirely.
+ *
+ * Sharded stepping drains disjoint id ranges concurrently with
+ * drainRange(): boundary words shared by two shards are split with
+ * per-range bit masks and fetch_and, so each shard extracts exactly
+ * its own components.
  */
 
 #ifndef FOOTPRINT_SIM_ACTIVE_SET_HPP
 #define FOOTPRINT_SIM_ACTIVE_SET_HPP
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace footprint {
@@ -35,8 +47,11 @@ class ActiveSet
     init(int num_components)
     {
         n_ = num_components;
-        words_.assign(
-            static_cast<std::size_t>((num_components + 63) / 64), 0);
+        nwords_ = static_cast<std::size_t>((num_components + 63) / 64);
+        words_ =
+            std::make_unique<std::atomic<std::uint64_t>[]>(nwords_);
+        for (std::size_t i = 0; i < nwords_; ++i)
+            words_[i].store(0, std::memory_order_relaxed);
         active_.clear();
         active_.reserve(static_cast<std::size_t>(num_components));
     }
@@ -47,20 +62,26 @@ class ActiveSet
     void
     wake(int comp)
     {
-        words_[static_cast<std::size_t>(comp) >> 6] |=
-            std::uint64_t{1} << (comp & 63);
+        std::atomic<std::uint64_t>& w =
+            words_[static_cast<std::size_t>(comp) >> 6];
+        const std::uint64_t bit = std::uint64_t{1} << (comp & 63);
+        if ((w.load(std::memory_order_relaxed) & bit) == 0)
+            w.fetch_or(bit, std::memory_order_relaxed);
     }
 
     /** Schedule every component (full step / non-contiguous cycle). */
     void
     wakeAll()
     {
-        if (words_.empty())
+        if (nwords_ == 0)
             return;
-        for (std::uint64_t& w : words_)
-            w = ~std::uint64_t{0};
+        for (std::size_t i = 0; i < nwords_; ++i)
+            words_[i].store(~std::uint64_t{0},
+                            std::memory_order_relaxed);
         if ((n_ & 63) != 0)
-            words_.back() = (std::uint64_t{1} << (n_ & 63)) - 1;
+            words_[nwords_ - 1].store(
+                (std::uint64_t{1} << (n_ & 63)) - 1,
+                std::memory_order_relaxed);
     }
 
     /**
@@ -72,19 +93,53 @@ class ActiveSet
     beginCycle()
     {
         active_.clear();
-        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-            std::uint64_t w = words_[wi];
-            words_[wi] = 0;
-            const int base = static_cast<int>(wi) * 64;
-            for (; w != 0; w &= w - 1)
-                active_.push_back(base + std::countr_zero(w));
-        }
+        drainRange(0, n_, active_);
         return active_;
+    }
+
+    /** The list the last beginCycle() produced (unchanged since). */
+    const std::vector<int>& active() const { return active_; }
+
+    /**
+     * Drain pending components with begin <= id < end, appending them
+     * to @p out ascending and clearing their bits. Safe to call
+     * concurrently for disjoint ranges; wakes raised concurrently for
+     * ids inside the range may land in either this cycle's list or the
+     * pending set (callers must order wakes vs. drains with barriers
+     * when that matters).
+     */
+    void
+    drainRange(int begin, int end, std::vector<int>& out)
+    {
+        if (begin >= end)
+            return;
+        const std::size_t w0 = static_cast<std::size_t>(begin) >> 6;
+        const std::size_t w1 = static_cast<std::size_t>(end - 1) >> 6;
+        for (std::size_t wi = w0; wi <= w1; ++wi) {
+            std::uint64_t mask = ~std::uint64_t{0};
+            if (wi == w0 && (begin & 63) != 0)
+                mask &= ~std::uint64_t{0} << (begin & 63);
+            if (wi == w1 && (end & 63) != 0)
+                mask &= ~std::uint64_t{0} >> (64 - (end & 63));
+            std::uint64_t bits;
+            if (mask == ~std::uint64_t{0}) {
+                bits = words_[wi].exchange(0,
+                                           std::memory_order_relaxed);
+            } else {
+                bits = words_[wi].fetch_and(
+                           ~mask, std::memory_order_relaxed)
+                    & mask;
+            }
+            const int base = static_cast<int>(wi) * 64;
+            for (; bits != 0; bits &= bits - 1)
+                out.push_back(base + std::countr_zero(bits));
+        }
     }
 
   private:
     int n_ = 0;
-    std::vector<std::uint64_t> words_;  ///< pending bitmap
+    std::size_t nwords_ = 0;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> words_;  ///< pending
     std::vector<int> active_;  ///< this cycle's list (beginCycle)
 };
 

@@ -30,7 +30,7 @@ constexpr std::array kKnownKeys = {
     "trace_file", "trace_length", "app", "app2",
     // Simulation phases / execution.
     "warmup_cycles", "measure_cycles", "drain_cycles", "seed",
-    "step_mode",
+    "step_mode", "threads", "shards",
     // Telemetry.
     "telemetry_out", "telemetry_format", "sample_interval",
     "telemetry_per_router", "trace_out", "trace_packets",
@@ -304,8 +304,13 @@ defaultConfig()
     cfg.setInt("drain_cycles", 50000);
     cfg.setInt("seed", 1);
     // "activity" steps only components with pending work (bit-identical
-    // to "full"); "verify" runs both and panics on any divergence.
+    // to "full"); "verify" runs both and panics on any divergence;
+    // "sharded" steps activity lists in parallel across "threads"
+    // workers over "shards" mesh bands (0 = one shard per thread),
+    // still bit-identical (DESIGN.md §13).
     cfg.set("step_mode", "activity");
+    cfg.setInt("threads", 1);
+    cfg.setInt("shards", 0);
     // Telemetry / observability (see DESIGN.md "Observability").
     cfg.set("telemetry_out", "");       // empty = no time series
     cfg.set("telemetry_format", "csv"); // or "jsonl"

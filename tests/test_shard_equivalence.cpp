@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Sharded-stepping equivalence tests: step_mode=sharded must be
+ * observationally identical to full and activity stepping — same
+ * injected/ejected totals, same per-packet hop and latency sums, same
+ * per-router event counters — for every routing algorithm, any thread
+ * count, and any shard count, including shard counts that do not
+ * divide the mesh and thread counts above the machine's core count.
+ * Also checks the shard-boundary mechanics directly: a credit loop
+ * that crosses shards must round-trip every credit home.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+#include "routing/routing.hpp"
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+
+namespace footprint {
+namespace {
+
+/**
+ * Drive an 8x8 mesh with a deterministic Bernoulli workload and fold
+ * everything observable into a flat signature (the same workload and
+ * signature as test_step_equivalence, so all modes are cross-checked
+ * against one reference behavior).
+ */
+std::vector<std::uint64_t>
+runSignature(const std::string& routing, double load,
+             const char* step_mode, std::int64_t cycles,
+             int threads = 1, int shards = 0)
+{
+    SimConfig cfg = defaultConfig();
+    cfg.set("routing", routing);
+    cfg.set("step_mode", step_mode);
+    cfg.setInt("threads", threads);
+    cfg.setInt("shards", shards);
+    Network net(cfg);
+    const int nodes = net.mesh().numNodes();
+
+    Rng gen(99);
+    std::uint64_t id = 0;
+    std::uint64_t drained = 0;
+    std::uint64_t hops_sum = 0;
+    std::uint64_t latency_sum = 0;
+    for (std::int64_t cycle = 0; cycle < cycles; ++cycle) {
+        for (int n = 0; n < nodes; ++n) {
+            if (gen.nextBool(load)) {
+                Packet p;
+                p.id = ++id;
+                p.src = n;
+                p.dest = static_cast<int>(gen.nextBounded(nodes));
+                if (p.dest == n)
+                    continue;
+                p.size = 1 + static_cast<int>(gen.nextBounded(3));
+                p.createTime = cycle;
+                p.measured = true;
+                net.endpoint(n).enqueue(p);
+            }
+        }
+        net.step(cycle);
+        for (int n = 0; n < nodes; ++n) {
+            for (const EjectedPacket& p :
+                 net.endpoint(n).drainEjected()) {
+                ++drained;
+                hops_sum += static_cast<std::uint64_t>(p.hops);
+                latency_sum +=
+                    static_cast<std::uint64_t>(p.latency());
+            }
+        }
+    }
+
+    std::vector<std::uint64_t> sig;
+    sig.push_back(net.totalFlitsInjected());
+    sig.push_back(net.totalFlitsEjected());
+    sig.push_back(
+        static_cast<std::uint64_t>(net.totalFlitsInFlight()));
+    sig.push_back(net.totalFlitsSent());
+    sig.push_back(drained);
+    sig.push_back(hops_sum);
+    sig.push_back(latency_sum);
+    for (int n = 0; n < nodes; ++n) {
+        const Router::Counters& c = net.router(n).counters();
+        sig.push_back(c.vcAllocSuccess);
+        sig.push_back(c.vcAllocFail);
+        sig.push_back(c.flitsTraversed);
+        sig.push_back(c.puritySamples);
+        sig.push_back(c.puritySum);
+    }
+    return sig;
+}
+
+class ShardEquivalence : public testing::TestWithParam<std::string>
+{};
+
+TEST_P(ShardEquivalence, TwoThreadsMatchFullAtLowLoad)
+{
+    const auto full = runSignature(GetParam(), 0.05, "full", 400);
+    const auto sharded =
+        runSignature(GetParam(), 0.05, "sharded", 400, 2);
+    EXPECT_EQ(full, sharded);
+}
+
+TEST_P(ShardEquivalence, FourThreadsMatchFullAtMediumLoad)
+{
+    const auto full = runSignature(GetParam(), 0.15, "full", 300);
+    const auto sharded =
+        runSignature(GetParam(), 0.15, "sharded", 300, 4);
+    EXPECT_EQ(full, sharded);
+}
+
+TEST_P(ShardEquivalence, ThreadCountsAgreeNearSaturation)
+{
+    // Past saturation every shard is busy every cycle, so cross-shard
+    // channel and wake traffic is at its densest.
+    const auto full = runSignature(GetParam(), 0.45, "full", 300);
+    const auto t2 = runSignature(GetParam(), 0.45, "sharded", 300, 2);
+    const auto t4 = runSignature(GetParam(), 0.45, "sharded", 300, 4);
+    EXPECT_EQ(full, t2);
+    EXPECT_EQ(full, t4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, ShardEquivalence,
+    testing::ValuesIn(allRoutingAlgorithmNames()),
+    [](const testing::TestParamInfo<std::string>& info) {
+        std::string name = info.param;
+        for (char& c : name) {
+            if (c == '+')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(ShardEquivalence, OneThreadMatchesActivityExactly)
+{
+    // threads=1 sharded takes the same phase path as the parallel
+    // runs (per-shard drains, barrier epilogue), just on one thread;
+    // it must match serial activity stepping, not merely full.
+    const auto act =
+        runSignature("footprint", 0.30, "activity", 400);
+    const auto sharded =
+        runSignature("footprint", 0.30, "sharded", 400, 1);
+    EXPECT_EQ(act, sharded);
+}
+
+TEST(ShardEquivalence, MoreShardsThanThreads)
+{
+    // shards=8 on 2 threads: each worker owns several bands and the
+    // barrier has fewer parties than shards.
+    const auto full = runSignature("footprint", 0.20, "full", 300);
+    const auto sharded =
+        runSignature("footprint", 0.20, "sharded", 300, 2, 8);
+    EXPECT_EQ(full, sharded);
+}
+
+TEST(ShardEquivalence, OddShardCountThatDoesNotDivideTheMesh)
+{
+    // 64 nodes into 7 bands: band sizes differ and band seams fall
+    // mid-row, so shard-crossing links appear in both directions.
+    const auto full = runSignature("dbar", 0.20, "full", 300);
+    const auto sharded =
+        runSignature("dbar", 0.20, "sharded", 300, 7, 7);
+    EXPECT_EQ(full, sharded);
+}
+
+TEST(ShardEquivalence, ThreadsClampToNodeCount)
+{
+    // More threads than the mesh has nodes: shard count clamps to the
+    // node count and the extra threads never materialize.
+    SimConfig cfg = defaultConfig();
+    cfg.setInt("mesh_width", 2);
+    cfg.setInt("mesh_height", 2);
+    cfg.set("step_mode", "sharded");
+    cfg.setInt("threads", 16);
+    Network net(cfg);
+    Packet p;
+    p.id = 1;
+    p.src = 0;
+    p.dest = 3;
+    p.size = 3;
+    p.createTime = 0;
+    net.endpoint(0).enqueue(p);
+    for (std::int64_t c = 0; c < 100; ++c)
+        net.step(c);
+    EXPECT_EQ(net.totalFlitsEjected(), 3u);
+    EXPECT_EQ(net.totalFlitsInFlight(), 0);
+}
+
+TEST(ShardEquivalence, NonContiguousCyclesStillMatch)
+{
+    // A cycle jump forces a full re-seed of the wake bitmap; sharded
+    // mode must handle it the same way activity mode does.
+    auto run = [](const char* mode, int threads) {
+        SimConfig cfg = defaultConfig();
+        cfg.set("step_mode", mode);
+        cfg.setInt("threads", threads);
+        Network net(cfg);
+        Packet p;
+        p.id = 1;
+        p.src = 0;
+        p.dest = 63;
+        p.size = 2;
+        p.createTime = 0;
+        net.endpoint(0).enqueue(p);
+        for (std::int64_t c = 0; c < 40; ++c)
+            net.step(c);
+        net.step(100); // jump
+        for (std::int64_t c = 101; c < 140; ++c)
+            net.step(c);
+        return std::vector<std::uint64_t>{
+            net.totalFlitsInjected(), net.totalFlitsEjected(),
+            static_cast<std::uint64_t>(net.totalFlitsInFlight()),
+            net.totalFlitsSent()};
+    };
+    EXPECT_EQ(run("full", 1), run("sharded", 4));
+}
+
+TEST(ShardEquivalence, CreditRoundTripAcrossShardBoundary)
+{
+    // 2x2 mesh split into two shards of one row each: node 0 -> 3
+    // crosses the shard seam, so its flits, the ejection credits, and
+    // the descriptor release all traverse shard-boundary machinery.
+    // After the packet drains, every credit must be back home: each
+    // router's output-credit total equals a never-used network's.
+    SimConfig cfg = defaultConfig();
+    cfg.setInt("mesh_width", 2);
+    cfg.setInt("mesh_height", 2);
+    cfg.set("step_mode", "sharded");
+    cfg.setInt("threads", 2);
+    cfg.setInt("shards", 2);
+    Network net(cfg);
+    Network fresh(cfg);
+
+    Packet p;
+    p.id = 1;
+    p.src = 0;
+    p.dest = 3;
+    p.size = 4;
+    p.createTime = 0;
+    net.endpoint(0).enqueue(p);
+    for (std::int64_t c = 0; c < 200; ++c)
+        net.step(c);
+
+    EXPECT_EQ(net.totalFlitsInjected(), 4u);
+    EXPECT_EQ(net.totalFlitsEjected(), 4u);
+    EXPECT_EQ(net.totalFlitsInFlight(), 0);
+    EXPECT_EQ(net.packetPool().liveCount(), 0u);
+    for (int n = 0; n < 4; ++n) {
+        EXPECT_EQ(net.router(n).totalOutputCredits(),
+                  fresh.router(n).totalOutputCredits())
+            << "credits failed to round-trip at router " << n;
+    }
+}
+
+} // namespace
+} // namespace footprint

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "exec/exec_context.hpp"
+#include "exec/spin_barrier.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace footprint {
@@ -81,6 +82,108 @@ TEST(ThreadPool, ZeroMeansHardwareConcurrency)
     ThreadPool pool(0);
     EXPECT_GE(pool.size(), 1u);
     EXPECT_EQ(pool.size(), ThreadPool::hardwareThreads());
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(), [&hits](std::size_t b,
+                                          std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForWithItemGranularityChunks)
+{
+    // chunks == n queues one item per chunk (dynamic balancing).
+    ThreadPool pool(4);
+    std::atomic<long> sum{0};
+    pool.parallelFor(
+        100,
+        [&sum](std::size_t b, std::size_t e) {
+            EXPECT_EQ(e, b + 1);
+            sum.fetch_add(static_cast<long>(b),
+                          std::memory_order_relaxed);
+        },
+        /*chunks=*/100);
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPool, ParallelForPropagatesChunkException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallelFor(
+            8,
+            [&ran](std::size_t b, std::size_t) {
+                ran.fetch_add(1, std::memory_order_relaxed);
+                if (b == 0)
+                    throw std::runtime_error("chunk 0 failed");
+            },
+            /*chunks=*/8),
+        std::runtime_error);
+    // Every chunk still ran: a failure never strands queued work.
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForZeroAndTinyRanges)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&calls](std::size_t, std::size_t) {
+        ++calls;
+    });
+    EXPECT_EQ(calls, 0);
+    std::atomic<int> ones{0};
+    pool.parallelFor(1, [&ones](std::size_t b, std::size_t e) {
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, 1u);
+        ones.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ones.load(), 1);
+}
+
+TEST(SpinBarrier, SynchronizesPhasesAcrossThreads)
+{
+    constexpr int kParties = 4;
+    constexpr int kRounds = 50;
+    SpinBarrier barrier(kParties);
+    std::atomic<int> counter{0};
+    std::atomic<bool> failed{false};
+
+    auto body = [&]() {
+        for (int r = 0; r < kRounds; ++r) {
+            counter.fetch_add(1, std::memory_order_relaxed);
+            barrier.arriveAndWait();
+            // Between the two barriers nobody increments, so every
+            // thread must observe the full round's count.
+            if (counter.load(std::memory_order_relaxed)
+                != kParties * (r + 1))
+                failed.store(true, std::memory_order_relaxed);
+            barrier.arriveAndWait();
+        }
+    };
+    std::vector<std::thread> crew;
+    for (int t = 0; t < kParties - 1; ++t)
+        crew.emplace_back(body);
+    body();
+    for (auto& th : crew)
+        th.join();
+    EXPECT_FALSE(failed.load());
+    EXPECT_EQ(counter.load(), kParties * kRounds);
+}
+
+TEST(SpinBarrier, SinglePartyNeverBlocks)
+{
+    SpinBarrier barrier(1);
+    for (int i = 0; i < 10; ++i)
+        barrier.arriveAndWait();
+    SUCCEED();
 }
 
 TEST(ExecContext, MapReturnsResultsInTaskOrder)

@@ -191,6 +191,8 @@ def compare_mode(paths: list[str]) -> None:
 MICRO_RESULT_FIELDS = {
     "name": str,
     "routing": str,
+    "mode": str,
+    "threads": int,
     "load": (int, float),
     "cycles": int,
     "wall_seconds": (int, float),
@@ -199,6 +201,61 @@ MICRO_RESULT_FIELDS = {
     "speedup": (int, float),
     "checksum": str,
 }
+
+
+def micro_group(name: str) -> str:
+    """Config group of a result row: 'sat16/dor@t4' -> 'sat16/dor'."""
+    return name.split("@", 1)[0]
+
+
+def check_thread_determinism(path: str, doc: dict) -> None:
+    """Fail if any thread count's checksum diverges within a config.
+
+    Rows sharing a base name (modulo the '@tN' suffix) are the same
+    simulation run under different step modes / thread counts, so
+    their checksums must be identical: parallel sharded stepping is
+    required to be bit-identical to serial stepping.
+    """
+    groups: dict[str, list[dict]] = {}
+    for entry in doc["results"]:
+        groups.setdefault(micro_group(entry["name"]), []).append(entry)
+    divergent = []
+    for group, entries in sorted(groups.items()):
+        sums = {e["checksum"] for e in entries}
+        if len(sums) > 1:
+            detail = ", ".join(
+                f"{e['name']}={e['checksum']}" for e in entries
+            )
+            divergent.append(f"{group}: {detail}")
+    if divergent:
+        for msg in divergent:
+            print(f"FAIL: {path}: checksum divergence across thread "
+                  f"counts in {msg}", file=sys.stderr)
+        sys.exit(1)
+    multi = sum(1 for entries in groups.values() if len(entries) > 1)
+    print(
+        f"OK: {path}: checksums identical across step modes and "
+        f"thread counts ({multi} configs with a thread axis)"
+    )
+
+
+def print_thread_scaling(doc: dict) -> None:
+    """Summarize sharded cycles/sec against the serial row per config."""
+    serial = {
+        e["name"]: e for e in doc["results"] if e["mode"] != "sharded"
+    }
+    rows = [e for e in doc["results"] if e["mode"] == "sharded"]
+    if not rows:
+        return
+    print(f"\n{'config':>22} {'threads':>7} {'c/s':>10} {'vs serial':>9}")
+    for e in rows:
+        ref = serial.get(micro_group(e["name"]))
+        ref_cps = ref["cycles_per_sec"] if ref else 0.0
+        scale = e["cycles_per_sec"] / ref_cps if ref_cps else 0.0
+        print(
+            f"{micro_group(e['name']):>22} {e['threads']:>7} "
+            f"{e['cycles_per_sec']:>10.0f} {scale:>8.2f}x"
+        )
 
 
 def validate_micro(path: str, doc: dict) -> None:
@@ -229,6 +286,8 @@ def validate_micro(path: str, doc: dict) -> None:
 def micro_mode(args: argparse.Namespace) -> None:
     doc = load(args.micro)
     validate_micro(args.micro, doc)
+    check_thread_determinism(args.micro, doc)
+    print_thread_scaling(doc)
     if args.baseline is None:
         return
 
