@@ -22,11 +22,20 @@
  * as the determinism gate for parallel stepping.
  *
  * Usage: micro_cycle [--cycles N] [--out FILE]
+ *                    [--profile [--profile-out FILE]]
  *
  * The JSON artifact is a footprint.bench/1 document with
  * kind="micro_cycle". Checksums are load-, seed-, and
  * algorithm-dependent but machine-independent; wall-clock fields are
  * the only machine-dependent values.
+ *
+ * --profile switches to self-profiling mode: only the thread-axis
+ * point (sat16) runs, each configuration with a Profiler attached, and
+ * the per-phase / per-shard / barrier-wait breakdown is printed and
+ * written as a footprint.profile/1 document (default
+ * micro_profile.json). Every profiled checksum must still equal the
+ * unprofiled full-stepping reference — the mode proves on every run
+ * that profiling cannot perturb simulation results.
  */
 
 #include <bit>
@@ -40,6 +49,8 @@
 #include <vector>
 
 #include "network/network.hpp"
+#include "obs/profiler.hpp"
+#include "obs/run_metadata.hpp"
 #include "sim/config.hpp"
 #include "sim/log.hpp"
 #include "sim/rng.hpp"
@@ -100,9 +111,9 @@ class Fnv1a
     std::uint64_t hash_ = 14695981039346656037ULL;
 };
 
-RunOutcome
-runOne(const std::string& routing, const OperatingPoint& pt,
-       std::int64_t cycles, const char* step_mode, int threads)
+SimConfig
+pointConfig(const std::string& routing, const OperatingPoint& pt,
+            const char* step_mode, int threads)
 {
     SimConfig cfg = defaultConfig();
     cfg.set("routing", routing);
@@ -110,7 +121,20 @@ runOne(const std::string& routing, const OperatingPoint& pt,
     cfg.setInt("mesh_width", pt.meshW);
     cfg.setInt("mesh_height", pt.meshH);
     cfg.setInt("threads", threads);
+    return cfg;
+}
+
+RunOutcome
+runOne(const std::string& routing, const OperatingPoint& pt,
+       std::int64_t cycles, const char* step_mode, int threads,
+       Profiler* prof = nullptr)
+{
+    SimConfig cfg = pointConfig(routing, pt, step_mode, threads);
     Network net(cfg);
+    if (prof) {
+        net.attachProfiler(prof);
+        prof->beginRun();
+    }
 
     const int nodes = pt.meshW * pt.meshH;
     Rng gen(kSeed);
@@ -150,6 +174,8 @@ runOne(const std::string& routing, const OperatingPoint& pt,
         }
     }
     const auto t1 = std::chrono::steady_clock::now();
+    if (prof)
+        prof->endRun(cycles);
 
     Fnv1a sum;
     sum.mix(net.totalFlitsInjected());
@@ -264,24 +290,134 @@ printRow(const ResultRow& row)
                 hex64(row.checksum).c_str());
 }
 
+/** One profiled row's terminal summary: phase shares + barrier tail. */
+void
+printProfileRow(const std::string& name, const Profiler& prof)
+{
+    const double run = prof.runSeconds();
+    std::printf("%-24s %10.0f c/s ", name.c_str(),
+                run > 0.0 ? static_cast<double>(prof.cycles()) / run
+                          : 0.0);
+    for (int p = 0; p < static_cast<int>(ProfPhase::Count); ++p) {
+        const auto phase = static_cast<ProfPhase>(p);
+        if (prof.phaseCalls(phase) == 0)
+            continue;
+        std::printf(" %s %4.1f%%", profPhaseName(phase),
+                    run > 0.0
+                        ? 100.0 * prof.phaseSeconds(phase) / run
+                        : 0.0);
+    }
+    if (prof.sharded() && prof.barrierWaits().count() > 0) {
+        std::printf("  imbalance %.2f  barrier p99 %llu ns",
+                    prof.imbalanceRatio(),
+                    static_cast<unsigned long long>(
+                        prof.barrierWaits().percentile(0.99)));
+    }
+    std::printf("\n");
+}
+
+/**
+ * --profile mode: the thread-axis point only, every configuration
+ * profiled, every checksum still pinned to the unprofiled reference.
+ */
+int
+runProfileMode(std::int64_t cycles, const std::string& out_path)
+{
+    setQuiet(true);
+    std::vector<std::string> rows;
+    SimConfig meta_cfg = defaultConfig();
+    for (const OperatingPoint& pt : kPoints) {
+        if (!pt.threadAxis)
+            continue;
+        const auto pt_cycles = static_cast<std::int64_t>(
+            static_cast<double>(cycles) * pt.cycleScale);
+        for (const char* routing : kRoutings) {
+            const RunOutcome full =
+                runOne(routing, pt, pt_cycles, "full", 1);
+            const std::string base =
+                std::string(pt.name) + "/" + routing;
+            meta_cfg = pointConfig(routing, pt, "sharded", 1);
+
+            Profiler act_prof;
+            const RunOutcome act = runOne(routing, pt, pt_cycles,
+                                          "activity", 1, &act_prof);
+            if (act.checksum != full.checksum) {
+                std::fprintf(stderr,
+                             "FAIL: %s: profiled activity run "
+                             "diverged from unprofiled full stepping "
+                             "(checksum %s vs %s)\n",
+                             base.c_str(), hex64(act.checksum).c_str(),
+                             hex64(full.checksum).c_str());
+                return 1;
+            }
+            rows.push_back(act_prof.toJsonRow(base, "activity", 1));
+            printProfileRow(base, act_prof);
+
+            for (const int threads : kThreadCounts) {
+                Profiler prof;
+                const RunOutcome sharded =
+                    runOne(routing, pt, pt_cycles, "sharded", threads,
+                           &prof);
+                if (sharded.checksum != full.checksum) {
+                    std::fprintf(
+                        stderr,
+                        "FAIL: %s@t%d: profiled sharded run diverged "
+                        "from unprofiled full stepping (checksum %s "
+                        "vs %s)\n",
+                        base.c_str(), threads,
+                        hex64(sharded.checksum).c_str(),
+                        hex64(full.checksum).c_str());
+                    return 1;
+                }
+                const std::string name =
+                    base + "@t" + std::to_string(threads);
+                rows.push_back(
+                    prof.toJsonRow(name, "sharded", threads));
+                printProfileRow(name, prof);
+            }
+        }
+    }
+
+    const RunMetadata meta = RunMetadata::fromConfig(meta_cfg);
+    if (!writeProfileDocument(out_path, &meta, rows)) {
+        std::fprintf(stderr, "FAIL: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s (schema footprint.profile/1, %zu rows)\n",
+                out_path.c_str(), rows.size());
+    return 0;
+}
+
 int
 run(int argc, char** argv)
 {
     std::int64_t cycles = 5000;
     std::string out_path;
+    std::string profile_out = "micro_profile.json";
+    bool profile = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
             cycles = std::atoll(argv[++i]);
         } else if (std::strcmp(argv[i], "--out") == 0
                    && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            profile = true;
+        } else if (std::strcmp(argv[i], "--profile-out") == 0
+                   && i + 1 < argc) {
+            profile_out = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: micro_cycle [--cycles N] "
-                         "[--out FILE]\n");
+                         "[--out FILE] [--profile "
+                         "[--profile-out FILE]]\n");
             return 2;
         }
     }
+
+    if (profile)
+        return runProfileMode(cycles, profile_out);
 
     setQuiet(true);
     std::vector<ResultRow> rows;

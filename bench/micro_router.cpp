@@ -12,6 +12,8 @@
 
 #include "network/network.hpp"
 #include "network/traffic_manager.hpp"
+#include "obs/heatmap.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "router/allocators.hpp"
 #include "routing/routing.hpp"
@@ -134,6 +136,50 @@ BM_NetworkCycleTelemetryIdle(benchmark::State& state)
     runTelemetryCycle(state, &hub);
 }
 BENCHMARK(BM_NetworkCycleTelemetryIdle);
+
+void
+BM_NetworkCycleObsIdle(benchmark::State& state)
+{
+    // Profiler/heatmap observability compiled in but disabled: a
+    // disabled profiler attach detaches (the stepping hot path keeps
+    // its null profiler pointer) and the heatmap null check mirrors
+    // TrafficManager's per-cycle gate. Against BM_NetworkCycle/30 this
+    // is the ≤2% disabled-overhead CI gate
+    // (check_telemetry_overhead.py --obs).
+    SimConfig cfg = netConfig("footprint");
+    setQuiet(true);
+    Network net(cfg);
+    Profiler prof(false);
+    net.attachProfiler(&prof);
+    std::unique_ptr<HeatmapCollector> heatmap;  // disabled => null
+    Rng gen(7);
+    std::uint64_t id = 0;
+    std::int64_t cycle = 0;
+    for (auto _ : state) {
+        for (int n = 0; n < 64; ++n) {
+            if (gen.nextBool(0.30)) {
+                Packet p;
+                p.id = ++id;
+                p.src = n;
+                p.dest = static_cast<int>(gen.nextBounded(64));
+                if (p.dest == n)
+                    continue;
+                p.size = 1;
+                p.createTime = cycle;
+                net.endpoint(n).enqueue(p);
+            }
+        }
+        net.step(cycle);
+        if (heatmap)
+            heatmap->tick(cycle);
+        benchmark::DoNotOptimize(heatmap);
+        ++cycle;
+        for (int n = 0; n < 64; ++n)
+            (void)net.endpoint(n).drainEjected();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetworkCycleObsIdle);
 
 void
 BM_NetworkCycleTelemetryActive(benchmark::State& state)

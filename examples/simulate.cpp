@@ -20,6 +20,11 @@
  *   --audit                 periodic invariant audits + watchdog
  *   --dump-on-abort         forensic state dump on abort/violation
  *   --chrome-trace          chrome://tracing timeline (trace.json)
+ *   --profile               per-phase wall-time self-profile
+ *                           (profile.json, footprint.profile/1)
+ *   --heatmap               windowed spatial heatmaps (heatmap.json,
+ *                           footprint.heatmap/1; render with
+ *                           tools/render_heatmap.py)
  *
  * Sweep mode (rate ladder instead of a single run; see DESIGN.md §11):
  *   --sweep RATES           offered rates, "0.05,0.1,0.2" or lo:hi:n
@@ -57,7 +62,8 @@ bool
 isBareFlag(const std::string& key)
 {
     return key == "audit" || key == "dump_on_abort"
-        || key == "chrome_trace";
+        || key == "chrome_trace" || key == "profile"
+        || key == "heatmap";
 }
 
 /**
@@ -200,14 +206,26 @@ main(int argc, char** argv)
                 stats.latencyHist.percentile(0.50),
                 stats.latencyHist.percentile(0.90),
                 stats.latencyHist.percentile(0.99));
+    std::printf("latency tail (hdr)       : p99 %llu  p999 %llu  "
+                "max %llu\n",
+                static_cast<unsigned long long>(
+                    stats.latencyHdr.percentile(0.99)),
+                static_cast<unsigned long long>(
+                    stats.latencyHdr.percentile(0.999)),
+                static_cast<unsigned long long>(
+                    stats.latencyHdr.max()));
     std::printf("hops                     : avg %.2f  max %.0f\n",
                 stats.hops.mean(), stats.hops.max());
     if (stats.hotspotLatency.count() > 0) {
         std::printf("hotspot-class latency    : avg %.2f over %llu "
-                    "packets\n",
+                    "packets (p99 %llu, p999 %llu)\n",
                     stats.hotspotLatency.mean(),
                     static_cast<unsigned long long>(
-                        stats.hotspotLatency.count()));
+                        stats.hotspotLatency.count()),
+                    static_cast<unsigned long long>(
+                        stats.hotspotLatencyHdr.percentile(0.99)),
+                    static_cast<unsigned long long>(
+                        stats.hotspotLatencyHdr.percentile(0.999)));
     }
     std::printf("VC allocation            : %llu grants, %llu "
                 "blocking events\n",
@@ -255,6 +273,16 @@ main(int argc, char** argv)
     if (!stats.stateDumpPath.empty()) {
         std::printf("forensic state dump      : %s\n",
                     stats.stateDumpPath.c_str());
+    }
+    if (!stats.profilePath.empty()) {
+        std::printf("self-profile             : %s (schema "
+                    "footprint.profile/1)\n",
+                    stats.profilePath.c_str());
+    }
+    if (!stats.heatmapPath.empty()) {
+        std::printf("spatial heatmap          : %s (schema "
+                    "footprint.heatmap/1; tools/render_heatmap.py)\n",
+                    stats.heatmapPath.c_str());
     }
     // A run that violated its own invariants must not exit 0, even
     // though it completed enough to print statistics.

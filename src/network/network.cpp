@@ -1,5 +1,6 @@
 #include "network/network.hpp"
 
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/log.hpp"
 
@@ -291,10 +292,20 @@ Network::stepPhases(const std::vector<int>& comps, std::int64_t cycle)
 {
     // Each phase is a barrier over the whole list, exactly as full
     // stepping runs them; comps is sorted, so the visit order within a
-    // phase matches full stepping's node order too.
-    phaseReceive(comps, cycle);
-    phaseCompute(comps, cycle);
-    phaseTransmit(comps, cycle);
+    // phase matches full stepping's node order too. Each scope is one
+    // never-taken branch when no profiler is attached.
+    {
+        ProfileScope ps(profiler_, ProfPhase::Drain);
+        phaseReceive(comps, cycle);
+    }
+    {
+        ProfileScope ps(profiler_, ProfPhase::Compute);
+        phaseCompute(comps, cycle);
+    }
+    {
+        ProfileScope ps(profiler_, ProfPhase::Transmit);
+        phaseTransmit(comps, cycle);
+    }
 }
 
 void
@@ -321,8 +332,17 @@ Network::stepActivity(std::int64_t cycle, bool contiguous)
         active_.wakeAll();
     const std::vector<int>& act = active_.beginCycle();
     stepPhases(act, cycle);
-    rescheduleAfterStep(act);
-    finishComps(act);
+    epilogue(act);
+}
+
+void
+Network::epilogue(const std::vector<int>& comps)
+{
+    // Reschedule + descriptor flush/refill, attributed to the
+    // epilogue phase when a profiler is attached.
+    ProfileScope ps(profiler_, ProfPhase::Epilogue);
+    rescheduleAfterStep(comps);
+    finishComps(comps);
 }
 
 template <typename Fn>
@@ -346,10 +366,41 @@ Network::runShardPhase(Fn&& fn)
     }
 }
 
+int
+Network::chunkOf(std::size_t sBegin) const
+{
+    // Recover the parallelFor chunk index from its start shard: chunk
+    // c covers [c*n/chunks, (c+1)*n/chunks), and chunks <= n keeps the
+    // starts strictly increasing, so the match is unique. The loop is
+    // over at most `threads` entries and runs once per worker per
+    // profiled cycle — noise next to the phase work it labels.
+    const std::size_t n = shards_.size();
+    const auto chunks = static_cast<std::size_t>(shardChunks_);
+    for (std::size_t c = 0; c < chunks; ++c) {
+        if (c * n / chunks == sBegin)
+            return static_cast<int>(c);
+    }
+    return 0;
+}
+
+void
+Network::barrierArrive(int chunk)
+{
+    if (!profiler_) {
+        barrier_.arriveAndWait();
+        return;
+    }
+    const std::uint64_t t0 = Profiler::nowNs();
+    barrier_.arriveAndWait();
+    profiler_->recordBarrierWaitNs(chunk, Profiler::nowNs() - t0);
+}
+
 void
 Network::shardWorker(std::size_t sBegin, std::size_t sEnd,
                      std::int64_t cycle)
 {
+    Profiler* const prof = profiler_;
+    const int chunk = prof ? chunkOf(sBegin) : 0;
     // Drain + receive share one barrier window: receivePhase only pops
     // channels (it never send()s), so the first wake of this cycle is
     // raised in a compute phase — strictly after the barrier below —
@@ -358,31 +409,50 @@ Network::shardWorker(std::size_t sBegin, std::size_t sEnd,
         for (std::size_t s = sBegin; s < sEnd; ++s) {
             Shard& sh = shards_[s];
             sh.active.clear();
+            const std::uint64_t t0 = prof ? Profiler::nowNs() : 0;
             active_.drainRange(sh.compBegin, sh.compEnd, sh.active);
             phaseReceive(sh.active, cycle);
+            if (prof)
+                prof->addShardBusyNs(static_cast<int>(s),
+                                     Profiler::nowNs() - t0);
         }
     });
-    barrier_.arriveAndWait();
+    barrierArrive(chunk);
     // Compute reads cycle-N channel/status state and commits sends for
     // cycle N+latency; the barrier above guarantees every receive (and
     // drain) finished first, the one below orders it before transmit's
     // status publishes.
     runShardPhase([&] {
-        for (std::size_t s = sBegin; s < sEnd; ++s)
+        for (std::size_t s = sBegin; s < sEnd; ++s) {
+            const std::uint64_t t0 = prof ? Profiler::nowNs() : 0;
             phaseCompute(shards_[s].active, cycle);
+            if (prof)
+                prof->addShardBusyNs(static_cast<int>(s),
+                                     Profiler::nowNs() - t0);
+        }
     });
-    barrier_.arriveAndWait();
+    barrierArrive(chunk);
     runShardPhase([&] {
-        for (std::size_t s = sBegin; s < sEnd; ++s)
+        for (std::size_t s = sBegin; s < sEnd; ++s) {
+            const std::uint64_t t0 = prof ? Profiler::nowNs() : 0;
             phaseTransmit(shards_[s].active, cycle);
+            if (prof)
+                prof->addShardBusyNs(static_cast<int>(s),
+                                     Profiler::nowNs() - t0);
+        }
     });
-    barrier_.arriveAndWait();
+    barrierArrive(chunk);
     // Self-sustain wakes read input pipes other shards wrote during
     // transmit, hence the barrier above. Wakes target cycle N+1's
     // bitmap, which nobody drains until after the join.
     runShardPhase([&] {
-        for (std::size_t s = sBegin; s < sEnd; ++s)
+        for (std::size_t s = sBegin; s < sEnd; ++s) {
+            const std::uint64_t t0 = prof ? Profiler::nowNs() : 0;
             rescheduleAfterStep(shards_[s].active);
+            if (prof)
+                prof->addShardBusyNs(static_cast<int>(s),
+                                     Profiler::nowNs() - t0);
+        }
     });
 }
 
@@ -409,6 +479,7 @@ Network::stepSharded(std::int64_t cycle, bool contiguous)
     // the concatenated (ascending) shard lists: all flushes strictly
     // before all refills, so free-list contents match serial stepping
     // slot for slot.
+    ProfileScope ps(profiler_, ProfPhase::Epilogue);
     for (const Shard& sh : shards_) {
         for (const int c : sh.active) {
             if (c & 1)
@@ -421,6 +492,10 @@ Network::stepSharded(std::int64_t cycle, bool contiguous)
                 pool_.refill(c >> 1);
         }
     }
+    // Workers recorded barrier waits into per-chunk scratch; fold them
+    // into the histogram here, after the join, where no worker races.
+    if (profiler_)
+        profiler_->mergeCycleScratch();
 }
 
 void
@@ -464,8 +539,7 @@ Network::stepVerify(std::int64_t cycle, bool contiguous)
     // Step everything; quiescent components are no-ops, so this is
     // the same cycle the active list would have produced.
     stepPhases(fullOrder_, cycle);
-    rescheduleAfterStep(fullOrder_);
-    finishComps(fullOrder_);
+    epilogue(fullOrder_);
 }
 
 void
@@ -475,10 +549,12 @@ Network::step(std::int64_t cycle)
     lastCycle_ = cycle;
     haveStepped_ = true;
     switch (stepMode_) {
-    case StepMode::Full:
+    case StepMode::Full: {
         stepPhases(fullOrder_, cycle);
+        ProfileScope ps(profiler_, ProfPhase::Epilogue);
         finishComps(fullOrder_);
         break;
+    }
     case StepMode::Activity:
         stepActivity(cycle, contiguous);
         break;
@@ -564,6 +640,16 @@ Network::totalFlitsSent() const
     for (const auto& ch : flitChannels_)
         total += ch->sentCount();
     return total;
+}
+
+void
+Network::attachProfiler(Profiler* profiler)
+{
+    profiler_ = (profiler && profiler->enabled()) ? profiler : nullptr;
+    if (profiler_ && stepMode_ == StepMode::Sharded) {
+        profiler_->configureSharded(static_cast<int>(shards_.size()),
+                                    shardChunks_, threads_);
+    }
 }
 
 void

@@ -26,6 +26,7 @@
 
 namespace footprint {
 
+class Profiler;
 class TelemetryHub;
 
 /**
@@ -127,6 +128,23 @@ class Network
     std::uint64_t totalFlitsSent() const;
 
     /**
+     * Attach a self-profiler: subsequent step() calls attribute wall
+     * time to the drain/compute/transmit/epilogue phases and, under
+     * sharded stepping, to per-shard busy time and barrier waits (see
+     * DESIGN.md §14). A null or disabled profiler detaches — the hot
+     * path then pays exactly one never-taken branch per phase.
+     * Profiling reads the clock but never simulation state, so results
+     * are bit-identical with or without it, in every step mode.
+     */
+    void attachProfiler(Profiler* profiler);
+
+    /** Shards built for sharded stepping (0 outside that mode). */
+    int shardCount() const
+    {
+        return static_cast<int>(shards_.size());
+    }
+
+    /**
      * One directed link: the forward flit channel and its backward
      * credit channel. Port fields are meaningful only on router ends
      * (-1 on endpoint ends). Built once at construction for the
@@ -190,6 +208,9 @@ class Network
                      std::int64_t cycle);
     template <typename Fn> void runShardPhase(Fn&& fn);
     void finishComps(const std::vector<int>& comps);
+    void epilogue(const std::vector<int>& comps);
+    int chunkOf(std::size_t sBegin) const;
+    void barrierArrive(int chunk);
 
     Mesh mesh_;
     RouterParams params_;
@@ -239,6 +260,9 @@ class Network
     std::atomic<bool> shardFailed_{false};
     bool tracerAttached_ = false;
     bool warnedTracerFallback_ = false;
+
+    /** Self-profiler; null (the common case) skips all timing. */
+    Profiler* profiler_ = nullptr;
 };
 
 } // namespace footprint

@@ -9,6 +9,8 @@
 
 #include "network/network.hpp"
 #include "obs/auditor.hpp"
+#include "obs/heatmap.hpp"
+#include "obs/profiler.hpp"
 #include "obs/run_metadata.hpp"
 #include "obs/state_dump.hpp"
 #include "obs/telemetry.hpp"
@@ -128,6 +130,22 @@ TrafficManager::run()
     if (owned_hub)
         owned_hub->setRunMetadata(meta);
 
+    // Self-profiler and spatial observatory (DESIGN.md §14). Both stay
+    // null/disabled unless their config key asks for them; the profiler
+    // pointer is the only thing the stepping hot path ever sees, and
+    // the heatmap collector only reads network state from this serial
+    // loop, so neither can perturb results.
+    std::unique_ptr<Profiler> profiler;
+    if (cfg_.getBool("profile")) {
+        profiler = std::make_unique<Profiler>();
+        net.attachProfiler(profiler.get());
+    }
+    Profiler* const prof = profiler.get();
+    const HeatmapConfig hm_cfg = HeatmapConfig::fromSim(cfg_);
+    std::unique_ptr<HeatmapCollector> heatmap;
+    if (hm_cfg.enabled)
+        heatmap = std::make_unique<HeatmapCollector>(net, hm_cfg);
+
     // Observability supervisors: the invariant auditor and the
     // deadlock/livelock watchdog, both gated on the "audit" key and
     // both a single null check per cycle when disabled.
@@ -226,6 +244,8 @@ TrafficManager::run()
 
     if (hub)
         hub->beginPhase("warmup", 0);
+    if (prof)
+        prof->beginRun();
     try {
     for (; cycle < hard_limit; ++cycle) {
         const bool measuring = cycle >= warmup
@@ -238,6 +258,7 @@ TrafficManager::run()
         }
 
         // Generate traffic.
+        const std::uint64_t inject_t0 = prof ? Profiler::nowNs() : 0;
         if (is_trace) {
             while (pending && pending->cycle <= cycle) {
                 // Trace events carry their own packet size.
@@ -279,6 +300,10 @@ TrafficManager::run()
                 }
             }
         }
+        if (prof) {
+            prof->addPhaseNs(ProfPhase::Inject,
+                             Profiler::nowNs() - inject_t0);
+        }
 
         if (cycle == warmup) {
             net.resetCounters();
@@ -289,6 +314,8 @@ TrafficManager::run()
         }
 
         net.step(cycle);
+        if (heatmap)
+            heatmap->tick(cycle);
         if (hub)
             hub->tick(cycle);
         if (auditor)
@@ -310,12 +337,15 @@ TrafficManager::run()
         }
 
         // Collect completions.
+        const std::uint64_t collect_t0 = prof ? Profiler::nowNs() : 0;
         for (int node = 0; node < n; ++node) {
             for (const EjectedPacket& p :
                  net.endpoint(node).drainEjected()) {
                 if (p.flowClass == FlowClass::Hotspot) {
                     stats.hotspotLatency.add(
                         static_cast<double>(p.latency()));
+                    stats.hotspotLatencyHdr.add(
+                        static_cast<std::uint64_t>(p.latency()));
                 }
                 if (!p.measured)
                     continue;
@@ -323,8 +353,14 @@ TrafficManager::run()
                 last_progress_cycle = cycle;
                 stats.latency.add(static_cast<double>(p.latency()));
                 stats.latencyHist.add(static_cast<double>(p.latency()));
+                stats.latencyHdr.add(
+                    static_cast<std::uint64_t>(p.latency()));
                 stats.hops.add(static_cast<double>(p.hops));
             }
+        }
+        if (prof) {
+            prof->addPhaseNs(ProfPhase::Collect,
+                             Profiler::nowNs() - collect_t0);
         }
 
         if (cycle == warmup + measure - 1) {
@@ -438,6 +474,27 @@ TrafficManager::run()
             static_cast<double>(flits_at_measure_end
                                 - flits_at_measure_start)
             / (static_cast<double>(n) * static_cast<double>(measure));
+    }
+
+    if (prof) {
+        prof->endRun(cycle);
+        const std::string out = cfg_.getStr("profile_out");
+        const std::string row = prof->toJsonRow(
+            cfg_.getStr("traffic") + "/" + cfg_.getStr("routing"),
+            cfg_.getStr("step_mode"),
+            static_cast<int>(cfg_.getInt("threads")));
+        if (writeProfileDocument(out, &meta, {row}))
+            stats.profilePath = out;
+        else
+            warn("could not write profile document to " + out);
+    }
+    if (heatmap) {
+        heatmap->finish(cycle);
+        if (heatmap->writeTo(hm_cfg.outPath, &meta))
+            stats.heatmapPath = hm_cfg.outPath;
+        else
+            warn("could not write heatmap document to "
+                 + hm_cfg.outPath);
     }
     return stats;
 }

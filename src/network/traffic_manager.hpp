@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/hdr_histogram.hpp"
 #include "router/router.hpp"
 #include "sim/config.hpp"
 #include "sim/stats.hpp"
@@ -26,8 +27,16 @@ struct RunStats
     StatAccumulator latency;
     /** Latency distribution of measured packets (5-cycle bins). */
     Histogram latencyHist{5.0, 400};
+    /**
+     * Log-bucketed latency distribution of measured packets: p99/p999
+     * in bounded memory with <=0.4% relative error, where the linear
+     * histogram above saturates its top bin (see DESIGN.md §14).
+     */
+    HdrHistogram latencyHdr;
     /** Latency of hotspot-class packets (informational). */
     StatAccumulator hotspotLatency;
+    /** Log-bucketed latency distribution of hotspot-class packets. */
+    HdrHistogram hotspotLatencyHdr;
     /** Hop counts of measured packets. */
     StatAccumulator hops;
 
@@ -54,6 +63,12 @@ struct RunStats
 
     /** Path of the forensic state dump, when one was written. */
     std::string stateDumpPath;
+
+    /** Path of the footprint.profile/1 document (profile=true). */
+    std::string profilePath;
+
+    /** Path of the footprint.heatmap/1 document (heatmap=true). */
+    std::string heatmapPath;
 
     /** Router event counters over the measurement window. */
     Router::Counters counters;

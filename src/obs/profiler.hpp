@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Simulator self-profiler: attributes wall-clock time to the phases of
+ * a simulation cycle (inject / drain / compute / transmit / epilogue /
+ * collect) and, under sharded stepping, to individual shards and
+ * barrier waits, so performance work starts from measurements instead
+ * of guesses.
+ *
+ * Threading contract (mirrors the sharded-stepping determinism design,
+ * DESIGN.md §13/§14): workers write only per-shard and per-chunk
+ * accumulator slots they own during a cycle; the Network folds the
+ * per-chunk barrier-wait scratch into the shared HDR histogram from
+ * its *serial* end-of-step epilogue. Nothing the profiler does touches
+ * simulation state, so checksums and sharded-vs-serial equality are
+ * untouched — the profiled run is bit-identical to the unprofiled one.
+ *
+ * Overhead contract: a Network with no profiler attached pays one
+ * never-taken branch per phase; TrafficManager pays one null check per
+ * cycle section. The CI gate (check_telemetry_overhead.py --obs)
+ * holds the disabled configuration within 2% of the bare cycle loop.
+ */
+
+#ifndef FOOTPRINT_OBS_PROFILER_HPP
+#define FOOTPRINT_OBS_PROFILER_HPP
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/hdr_histogram.hpp"
+
+namespace footprint {
+
+struct RunMetadata;
+
+/** Wall-time attribution buckets of one simulation cycle. */
+enum class ProfPhase : int {
+    Inject = 0,   ///< traffic generation (TrafficManager)
+    Drain,        ///< active-list drain + receive phase
+    Compute,      ///< routing + VA + SA + crossbar traversal
+    Transmit,     ///< output FIFOs into links + status publish
+    Epilogue,     ///< reschedule, descriptor flush/refill, scratch merge
+    Collect,      ///< ejected-packet collection (TrafficManager)
+    Count,
+};
+
+const char* profPhaseName(ProfPhase p);
+
+class Profiler
+{
+  public:
+    /** A disabled profiler never records; attach points skip it. */
+    explicit Profiler(bool enabled = true) : enabled_(enabled) {}
+
+    bool enabled() const { return enabled_; }
+
+    /** Monotonic nanosecond clock used by every scope. */
+    static std::uint64_t
+    nowNs()
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    /** Mark the start of the profiled run (wall-clock anchor). */
+    void beginRun() { runStartNs_ = nowNs(); }
+
+    /** Close the run after @p cycles simulated cycles. */
+    void
+    endRun(std::int64_t cycles)
+    {
+        runNs_ = nowNs() - runStartNs_;
+        cycles_ = cycles;
+    }
+
+    void
+    addPhaseNs(ProfPhase p, std::uint64_t ns)
+    {
+        phaseNs_[static_cast<std::size_t>(p)] += ns;
+        ++phaseCalls_[static_cast<std::size_t>(p)];
+    }
+
+    // --- Sharded-stepping instrumentation. ---
+
+    /**
+     * Size the per-shard and per-chunk accumulators. Called by
+     * Network::attachProfiler when step_mode=sharded; @p chunks is the
+     * worker-crew size (each chunk of shards runs on one thread).
+     */
+    void configureSharded(int shards, int chunks, int threads);
+
+    bool sharded() const { return !shardBusyNs_.empty(); }
+    int shardCount() const
+    {
+        return static_cast<int>(shardBusyNs_.size());
+    }
+
+    /**
+     * Add @p ns of phase-body work to @p shard. Race-free without
+     * atomics: a shard is stepped by exactly one worker per cycle.
+     */
+    void
+    addShardBusyNs(int shard, std::uint64_t ns)
+    {
+        shardBusyNs_[static_cast<std::size_t>(shard)] += ns;
+    }
+
+    /**
+     * Record one barrier wait of worker chunk @p chunk into its
+     * private scratch slot; folded into the shared histogram by
+     * mergeCycleScratch() from the serial epilogue.
+     */
+    void
+    recordBarrierWaitNs(int chunk, std::uint64_t ns)
+    {
+        ChunkScratch& s = scratch_[static_cast<std::size_t>(chunk)];
+        if (s.count < kMaxWaitsPerCycle)
+            s.waitNs[s.count++] = ns;
+    }
+
+    /**
+     * Serial end-of-step merge: fold every chunk's barrier-wait
+     * scratch into the shared HDR histogram and per-chunk totals.
+     * Must only be called while no worker is inside a phase.
+     */
+    void mergeCycleScratch();
+
+    // --- Report accessors (tests, benches). ---
+
+    double
+    phaseSeconds(ProfPhase p) const
+    {
+        return static_cast<double>(
+                   phaseNs_[static_cast<std::size_t>(p)])
+            * 1e-9;
+    }
+    std::uint64_t
+    phaseCalls(ProfPhase p) const
+    {
+        return phaseCalls_[static_cast<std::size_t>(p)];
+    }
+    double
+    shardBusySeconds(int shard) const
+    {
+        return static_cast<double>(
+                   shardBusyNs_[static_cast<std::size_t>(shard)])
+            * 1e-9;
+    }
+    const HdrHistogram& barrierWaits() const { return barrierHist_; }
+    double runSeconds() const
+    {
+        return static_cast<double>(runNs_) * 1e-9;
+    }
+    std::int64_t cycles() const { return cycles_; }
+
+    /** max(shard busy) / mean(shard busy); 1.0 is perfectly balanced. */
+    double imbalanceRatio() const;
+
+    /**
+     * One footprint.profile/1 row: phase table, sharded block (when
+     * sharded) with per-shard busy seconds, imbalance ratio, and
+     * barrier-wait percentiles.
+     */
+    std::string toJsonRow(const std::string& name,
+                          const std::string& mode, int threads) const;
+
+  private:
+    // 3 phase barriers per cycle per chunk, with headroom.
+    static constexpr int kMaxWaitsPerCycle = 8;
+
+    struct ChunkScratch
+    {
+        std::array<std::uint64_t, kMaxWaitsPerCycle> waitNs{};
+        int count = 0;
+    };
+
+    bool enabled_;
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(ProfPhase::Count)>
+        phaseNs_{};
+    std::array<std::uint64_t,
+               static_cast<std::size_t>(ProfPhase::Count)>
+        phaseCalls_{};
+    std::vector<std::uint64_t> shardBusyNs_;
+    std::vector<std::uint64_t> chunkWaitNs_;
+    std::vector<ChunkScratch> scratch_;
+    HdrHistogram barrierHist_{1ULL << 34};  ///< up to ~17 s waits
+    int threads_ = 1;
+    std::uint64_t runStartNs_ = 0;
+    std::uint64_t runNs_ = 0;
+    std::int64_t cycles_ = 0;
+};
+
+/**
+ * RAII phase scope: records the elapsed wall time of its lifetime into
+ * @p profiler, or nothing at all when @p profiler is null (one branch).
+ */
+class ProfileScope
+{
+  public:
+    ProfileScope(Profiler* profiler, ProfPhase phase)
+        : profiler_(profiler), phase_(phase),
+          t0_(profiler ? Profiler::nowNs() : 0)
+    {
+    }
+
+    ~ProfileScope()
+    {
+        if (profiler_)
+            profiler_->addPhaseNs(phase_, Profiler::nowNs() - t0_);
+    }
+
+    ProfileScope(const ProfileScope&) = delete;
+    ProfileScope& operator=(const ProfileScope&) = delete;
+
+  private:
+    Profiler* profiler_;
+    ProfPhase phase_;
+    std::uint64_t t0_;
+};
+
+/**
+ * Wrap @p rows (each a toJsonRow string) into a schema-versioned
+ * footprint.profile/1 document with an optional metadata header.
+ */
+std::string profileDocument(const RunMetadata* meta,
+                            const std::vector<std::string>& rows);
+
+/** Write profileDocument to @p path; false on I/O failure. */
+bool writeProfileDocument(const std::string& path,
+                          const RunMetadata* meta,
+                          const std::vector<std::string>& rows);
+
+} // namespace footprint
+
+#endif // FOOTPRINT_OBS_PROFILER_HPP

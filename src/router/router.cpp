@@ -619,6 +619,21 @@ Router::occupiedOutVcs() const
 }
 
 int
+Router::occupiedOutVcsBelow(int vc_limit) const
+{
+    if (vc_limit <= 0)
+        return 0;
+    const VcMask low = vc_limit >= params_.numVcs
+        ? ~VcMask{0}
+        : static_cast<VcMask>((VcMask{1} << vc_limit) - 1);
+    int total = 0;
+    for (int port = 0; port < kNumPorts; ++port)
+        total += popcount(
+            static_cast<VcMask>(computeOccupiedVcMask(port) & low));
+    return total;
+}
+
+int
 Router::outputFifoFlits() const
 {
     return fifoFlits_;

@@ -166,6 +166,13 @@ class Router : public RouterView
     /** Occupied output VCs across all ports (live footprint lanes). */
     int occupiedOutVcs() const;
 
+    /**
+     * Occupied output VCs with index < @p vc_limit across all ports —
+     * with vc_limit = numEscapeVcs(), the router's escape-VC usage
+     * (the spatial-observatory esc_occ probe).
+     */
+    int occupiedOutVcsBelow(int vc_limit) const;
+
     /** Flits waiting in output FIFOs. */
     int outputFifoFlits() const;
 

@@ -34,6 +34,9 @@ constexpr std::array kKnownKeys = {
     // Telemetry.
     "telemetry_out", "telemetry_format", "sample_interval",
     "telemetry_per_router", "trace_out", "trace_packets",
+    // Self-profiler / spatial heatmap observatory (DESIGN.md §14).
+    "profile", "profile_out", "heatmap", "heatmap_out",
+    "heatmap_window", "heatmap_sample_interval",
     // Auditing / watchdog / forensics.
     "audit", "audit_interval", "watchdog_interval",
     "watchdog_max_hops", "watchdog_max_age", "dump_on_abort",
@@ -318,6 +321,13 @@ defaultConfig()
     cfg.setBool("telemetry_per_router", true);
     cfg.set("trace_out", "");           // default "trace.jsonl"
     cfg.setInt("trace_packets", 0);     // trace packet ids [1, N]
+    // Self-profiler / spatial heatmap observatory (DESIGN.md §14).
+    cfg.setBool("profile", false);      // per-phase wall-time profile
+    cfg.set("profile_out", "profile.json");
+    cfg.setBool("heatmap", false);      // windowed spatial heatmaps
+    cfg.set("heatmap_out", "heatmap.json");
+    cfg.setInt("heatmap_window", 1000); // cycles per window
+    cfg.setInt("heatmap_sample_interval", 8); // gauge sampling stride
     // Auditing / watchdog / forensics (DESIGN.md "Runtime auditing").
     cfg.setBool("audit", false);        // invariant auditor + watchdog
     cfg.setInt("audit_interval", 1000); // cycles between audits

@@ -289,6 +289,38 @@ TEST(UnknownKeys, IsKnownKeyCoversNewAuditKeys)
     EXPECT_FALSE(SimConfig::isKnownKey("watchdogg"));
 }
 
+TEST(UnknownKeys, AcceptsProfilerAndHeatmapKeys)
+{
+    // The profile_* / heatmap_* observability keys (DESIGN.md §14)
+    // must be registered: enabling them may not trip the
+    // unknown-key warning.
+    SimConfig cfg = defaultConfig();
+    cfg.set("profile", "true");
+    cfg.set("profile_out", "p.json");
+    cfg.set("heatmap", "true");
+    cfg.set("heatmap_out", "h.json");
+    cfg.set("heatmap_window", "500");
+    cfg.set("heatmap_sample_interval", "4");
+    std::ostringstream sink;
+    setLogSink(&sink);
+    EXPECT_EQ(cfg.warnUnknownKeys(), 0u);
+    setLogSink(nullptr);
+    EXPECT_TRUE(sink.str().empty());
+    // ...and a near-miss still gets a suggestion.
+    EXPECT_FALSE(SimConfig::isKnownKey("heatmap_widow"));
+}
+
+TEST(DefaultConfig, ProfilerAndHeatmapDefaultOff)
+{
+    const SimConfig cfg = defaultConfig();
+    EXPECT_FALSE(cfg.getBool("profile"));
+    EXPECT_FALSE(cfg.getBool("heatmap"));
+    EXPECT_EQ(cfg.getStr("profile_out"), "profile.json");
+    EXPECT_EQ(cfg.getStr("heatmap_out"), "heatmap.json");
+    EXPECT_EQ(cfg.getInt("heatmap_window"), 1000);
+    EXPECT_EQ(cfg.getInt("heatmap_sample_interval"), 8);
+}
+
 TEST(DefaultConfig, MatchesTable2Baseline)
 {
     const SimConfig cfg = defaultConfig();

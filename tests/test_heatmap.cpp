@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for the spatial heatmap observatory: config clamping,
+ * window tiling, grid geometry, link-utilization delta math on a tiny
+ * mesh with a known traffic pattern, and the footprint.heatmap/1
+ * document shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+#include "obs/heatmap.hpp"
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+
+namespace footprint {
+namespace {
+
+TEST(HeatmapConfig, FromSimReadsDefaults)
+{
+    const HeatmapConfig hc = HeatmapConfig::fromSim(defaultConfig());
+    EXPECT_FALSE(hc.enabled);
+    EXPECT_EQ(hc.outPath, "heatmap.json");
+    EXPECT_EQ(hc.window, 1000);
+    EXPECT_EQ(hc.sampleInterval, 8);
+}
+
+TEST(HeatmapConfig, FromSimClampsDegenerateValues)
+{
+    SimConfig cfg = defaultConfig();
+    cfg.setBool("heatmap", true);
+    cfg.setInt("heatmap_window", 0);
+    cfg.setInt("heatmap_sample_interval", -3);
+    HeatmapConfig hc = HeatmapConfig::fromSim(cfg);
+    EXPECT_TRUE(hc.enabled);
+    EXPECT_EQ(hc.window, 1);
+    EXPECT_EQ(hc.sampleInterval, 1);
+
+    // A sample interval longer than the window degrades to one
+    // sample per window, not zero.
+    cfg.setInt("heatmap_window", 10);
+    cfg.setInt("heatmap_sample_interval", 50);
+    hc = HeatmapConfig::fromSim(cfg);
+    EXPECT_EQ(hc.window, 10);
+    EXPECT_EQ(hc.sampleInterval, 10);
+}
+
+TEST(HeatmapCollector, DisabledCollectorRecordsNothing)
+{
+    SimConfig cfg = defaultConfig();
+    Network net(cfg);
+    HeatmapConfig hc;  // enabled = false
+    HeatmapCollector col(net, hc);
+    EXPECT_FALSE(col.enabled());
+    for (std::int64_t cycle = 0; cycle < 50; ++cycle) {
+        net.step(cycle);
+        col.tick(cycle);
+    }
+    col.finish(50);
+    EXPECT_TRUE(col.windows().empty());
+}
+
+/** Drive the default 8x8 mesh under uniform Bernoulli load. */
+void
+driveUniform(Network& net, HeatmapCollector& col, std::int64_t cycles,
+             double load)
+{
+    const int nodes = net.mesh().numNodes();
+    Rng gen(17);
+    std::uint64_t id = 0;
+    for (std::int64_t cycle = 0; cycle < cycles; ++cycle) {
+        for (int n = 0; n < nodes; ++n) {
+            if (gen.nextBool(load)) {
+                Packet p;
+                p.id = ++id;
+                p.src = n;
+                p.dest = static_cast<int>(gen.nextBounded(nodes));
+                if (p.dest == n)
+                    continue;
+                p.size = 1 + static_cast<int>(gen.nextBounded(3));
+                p.createTime = cycle;
+                net.endpoint(n).enqueue(p);
+            }
+        }
+        net.step(cycle);
+        col.tick(cycle);
+        for (int n = 0; n < nodes; ++n)
+            net.endpoint(n).drainEjected();
+    }
+    col.finish(cycles);
+}
+
+TEST(HeatmapCollector, WindowsTileTheRunAndCountSamples)
+{
+    SimConfig cfg = defaultConfig();
+    Network net(cfg);
+    HeatmapConfig hc;
+    hc.enabled = true;
+    hc.window = 100;
+    hc.sampleInterval = 4;
+    HeatmapCollector col(net, hc);
+    driveUniform(net, col, 250, 0.05);
+
+    // [0,100), [100,200), and the partial trailing [200,250).
+    ASSERT_EQ(col.windows().size(), 3u);
+    const auto& w = col.windows();
+    EXPECT_EQ(w[0].startCycle, 0);
+    EXPECT_EQ(w[0].endCycle, 100);
+    EXPECT_EQ(w[1].startCycle, 100);
+    EXPECT_EQ(w[1].endCycle, 200);
+    EXPECT_EQ(w[2].startCycle, 200);
+    EXPECT_EQ(w[2].endCycle, 250);
+    // Samples at offsets 0, 4, ..., 96 -> 25 per full window; the
+    // 50-cycle tail samples offsets 0, 4, ..., 48 -> 13.
+    EXPECT_EQ(w[0].samples, 25);
+    EXPECT_EQ(w[1].samples, 25);
+    EXPECT_EQ(w[2].samples, 13);
+
+    const auto nodes =
+        static_cast<std::size_t>(net.mesh().numNodes());
+    for (const HeatmapWindow& win : w) {
+        for (const auto& dir : win.linkUtil)
+            EXPECT_EQ(dir.size(), nodes);
+        EXPECT_EQ(win.injectUtil.size(), nodes);
+        EXPECT_EQ(win.ejectUtil.size(), nodes);
+        EXPECT_EQ(win.vcOcc.size(), nodes);
+        EXPECT_EQ(win.fpOcc.size(), nodes);
+        EXPECT_EQ(win.escOcc.size(), nodes);
+        EXPECT_EQ(win.injBacklog.size(), nodes);
+    }
+
+    // Traffic flowed, so the gauges and link counters saw it.
+    const auto sum = [](const std::vector<double>& g) {
+        return std::accumulate(g.begin(), g.end(), 0.0);
+    };
+    EXPECT_GT(sum(w[0].injectUtil), 0.0);
+    EXPECT_GT(sum(w[0].ejectUtil), 0.0);
+    EXPECT_GT(sum(w[0].linkUtil[0]) + sum(w[0].linkUtil[1])
+                  + sum(w[0].linkUtil[2]) + sum(w[0].linkUtil[3]),
+              0.0);
+    EXPECT_GT(sum(w[0].vcOcc) + sum(w[1].vcOcc), 0.0);
+    EXPECT_GT(sum(w[0].fpOcc) + sum(w[1].fpOcc), 0.0);
+}
+
+TEST(HeatmapCollector, EastboundPacketLandsOnEastLinkGrid)
+{
+    // 2x2 mesh, one 2-flit packet from node 0 to its east neighbor
+    // (node 1): the only router-to-router traffic is node 0's east
+    // link, and the deltas are exact flit counts.
+    SimConfig cfg = defaultConfig();
+    cfg.setInt("mesh_width", 2);
+    cfg.setInt("mesh_height", 2);
+    cfg.set("routing", "dor");
+    Network net(cfg);
+    HeatmapConfig hc;
+    hc.enabled = true;
+    hc.window = 60;
+    hc.sampleInterval = 1;
+    HeatmapCollector col(net, hc);
+
+    Packet p;
+    p.id = 1;
+    p.src = 0;
+    p.dest = 1;
+    p.size = 2;
+    p.createTime = 0;
+    net.endpoint(0).enqueue(p);
+    std::uint64_t drained = 0;
+    for (std::int64_t cycle = 0; cycle < 60; ++cycle) {
+        net.step(cycle);
+        col.tick(cycle);
+        drained += net.endpoint(1).drainEjected().size();
+    }
+    col.finish(60);
+    ASSERT_EQ(drained, 1u);
+
+    ASSERT_EQ(col.windows().size(), 1u);
+    const HeatmapWindow& w = col.windows()[0];
+    const double cycles = 60.0;
+    // All flits enter at node 0, cross its east link, leave at node 1.
+    EXPECT_DOUBLE_EQ(w.injectUtil[0] * cycles, 2.0);
+    EXPECT_DOUBLE_EQ(w.linkUtil[0][0] * cycles, 2.0);  // east @ node 0
+    EXPECT_DOUBLE_EQ(w.ejectUtil[1] * cycles, 2.0);
+    // Nothing else moved.
+    EXPECT_DOUBLE_EQ(w.injectUtil[1] + w.injectUtil[2]
+                         + w.injectUtil[3],
+                     0.0);
+    EXPECT_DOUBLE_EQ(w.ejectUtil[0] + w.ejectUtil[2] + w.ejectUtil[3],
+                     0.0);
+    for (int d = 0; d < 4; ++d) {
+        for (int n = 0; n < 4; ++n) {
+            if (d == 0 && n == 0)
+                continue;
+            EXPECT_DOUBLE_EQ(w.linkUtil[d][n], 0.0)
+                << "dir " << d << " node " << n;
+        }
+    }
+}
+
+TEST(HeatmapCollector, JsonDocumentHasSchemaAndTiledWindows)
+{
+    SimConfig cfg = defaultConfig();
+    Network net(cfg);
+    HeatmapConfig hc;
+    hc.enabled = true;
+    hc.window = 50;
+    hc.sampleInterval = 5;
+    HeatmapCollector col(net, hc);
+    driveUniform(net, col, 100, 0.05);
+
+    const std::string doc = col.toJson(nullptr);
+    EXPECT_EQ(doc.find("{\"schema\":\"footprint.heatmap/1\""), 0u);
+    EXPECT_NE(doc.find("\"mesh\":{\"width\":8,\"height\":8}"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"window\":50"), std::string::npos);
+    EXPECT_NE(doc.find("\"sample_interval\":5"), std::string::npos);
+    for (const char* metric :
+         {"link_util", "inject_util", "eject_util", "vc_occ",
+          "fp_occ", "esc_occ", "inj_backlog"})
+        EXPECT_NE(doc.find(metric), std::string::npos) << metric;
+    for (const char* dir : {"east", "west", "north", "south"})
+        EXPECT_NE(doc.find(std::string("\"") + dir + "\":["),
+                  std::string::npos)
+            << dir;
+    EXPECT_NE(doc.find("\"start\":0,\"end\":50"), std::string::npos);
+    EXPECT_NE(doc.find("\"start\":50,\"end\":100"),
+              std::string::npos);
+    EXPECT_EQ(doc.find("\"meta\":"), std::string::npos);
+}
+
+} // namespace
+} // namespace footprint

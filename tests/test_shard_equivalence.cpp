@@ -13,10 +13,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "network/network.hpp"
+#include "obs/heatmap.hpp"
+#include "obs/profiler.hpp"
 #include "routing/routing.hpp"
 #include "sim/config.hpp"
 #include "sim/rng.hpp"
@@ -33,7 +36,8 @@ namespace {
 std::vector<std::uint64_t>
 runSignature(const std::string& routing, double load,
              const char* step_mode, std::int64_t cycles,
-             int threads = 1, int shards = 0)
+             int threads = 1, int shards = 0,
+             Profiler* prof = nullptr, bool heatmap = false)
 {
     SimConfig cfg = defaultConfig();
     cfg.set("routing", routing);
@@ -42,6 +46,17 @@ runSignature(const std::string& routing, double load,
     cfg.setInt("shards", shards);
     Network net(cfg);
     const int nodes = net.mesh().numNodes();
+    if (prof) {
+        net.attachProfiler(prof);
+        prof->beginRun();
+    }
+    HeatmapConfig hm_cfg;
+    hm_cfg.enabled = heatmap;
+    hm_cfg.window = 100;
+    hm_cfg.sampleInterval = 4;
+    std::unique_ptr<HeatmapCollector> hm;
+    if (heatmap)
+        hm = std::make_unique<HeatmapCollector>(net, hm_cfg);
 
     Rng gen(99);
     std::uint64_t id = 0;
@@ -64,6 +79,8 @@ runSignature(const std::string& routing, double load,
             }
         }
         net.step(cycle);
+        if (hm)
+            hm->tick(cycle);
         for (int n = 0; n < nodes; ++n) {
             for (const EjectedPacket& p :
                  net.endpoint(n).drainEjected()) {
@@ -74,6 +91,8 @@ runSignature(const std::string& routing, double load,
             }
         }
     }
+    if (prof)
+        prof->endRun(cycles);
 
     std::vector<std::uint64_t> sig;
     sig.push_back(net.totalFlitsInjected());
@@ -219,6 +238,62 @@ TEST(ShardEquivalence, NonContiguousCyclesStillMatch)
             net.totalFlitsSent()};
     };
     EXPECT_EQ(run("full", 1), run("sharded", 4));
+}
+
+TEST(ShardEquivalence, ProfiledShardedRunIsBitIdentical)
+{
+    // Observability determinism satellite: a sharded run with the
+    // self-profiler attached and the heatmap collector ticking every
+    // cycle must produce the exact signature of an unprofiled full
+    // run — profiling reads clocks and network state, never writes.
+    const auto full = runSignature("footprint", 0.30, "full", 300);
+    Profiler prof;
+    const auto profiled = runSignature("footprint", 0.30, "sharded",
+                                       300, 4, 0, &prof, true);
+    EXPECT_EQ(full, profiled);
+
+    // The profiler must actually have measured the run it rode along.
+    EXPECT_EQ(prof.cycles(), 300);
+    EXPECT_GT(prof.runSeconds(), 0.0);
+    EXPECT_TRUE(prof.sharded());
+    EXPECT_GT(prof.phaseCalls(ProfPhase::Epilogue), 0u);
+    EXPECT_GT(prof.barrierWaits().count(), 0u);
+    double busy = 0.0;
+    for (int s = 0; s < prof.shardCount(); ++s)
+        busy += prof.shardBusySeconds(s);
+    EXPECT_GT(busy, 0.0);
+    EXPECT_GE(prof.imbalanceRatio(), 1.0);
+}
+
+TEST(ShardEquivalence, ProfiledSerialModesAreBitIdentical)
+{
+    const auto full = runSignature("dbar", 0.20, "full", 300);
+    Profiler act_prof;
+    const auto act = runSignature("dbar", 0.20, "activity", 300, 1, 0,
+                                  &act_prof, true);
+    EXPECT_EQ(full, act);
+    EXPECT_GT(act_prof.phaseSeconds(ProfPhase::Compute), 0.0);
+    EXPECT_EQ(act_prof.phaseCalls(ProfPhase::Drain), 300u);
+    EXPECT_FALSE(act_prof.sharded());
+
+    Profiler full_prof;
+    const auto full_profiled = runSignature("dbar", 0.20, "full", 300,
+                                            1, 0, &full_prof, false);
+    EXPECT_EQ(full, full_profiled);
+    EXPECT_EQ(full_prof.phaseCalls(ProfPhase::Transmit), 300u);
+}
+
+TEST(ShardEquivalence, DisabledProfilerDetaches)
+{
+    // attachProfiler with a disabled profiler must leave the hot path
+    // unprofiled (nothing recorded) and results untouched.
+    const auto full = runSignature("footprint", 0.15, "full", 200);
+    Profiler off(false);
+    const auto run = runSignature("footprint", 0.15, "sharded", 200,
+                                  2, 0, &off, false);
+    EXPECT_EQ(full, run);
+    EXPECT_EQ(off.phaseCalls(ProfPhase::Compute), 0u);
+    EXPECT_EQ(off.barrierWaits().count(), 0u);
 }
 
 TEST(ShardEquivalence, CreditRoundTripAcrossShardBoundary)

@@ -5,8 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
+#include "obs/hdr_histogram.hpp"
+#include "sim/rng.hpp"
 #include "sim/stats.hpp"
 
 namespace footprint {
@@ -260,6 +265,136 @@ TEST(Histogram, ToStringListsNonEmptyBins)
     const std::string s = h.toString();
     EXPECT_NE(s.find("1-2: 1"), std::string::npos);
     EXPECT_EQ(s.find("0-1"), std::string::npos);
+}
+
+TEST(Histogram, PercentileP999ResolvesDeepTail)
+{
+    // 1000 distinct samples, one per bin: p999 must land in the last
+    // occupied bin, not collapse into p99's.
+    Histogram h(1.0, 1000);
+    for (int i = 0; i < 1000; ++i)
+        h.add(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(h.percentile(0.999), 999.0, 1.5);
+    EXPECT_GT(h.percentile(0.999), h.percentile(0.99) + 5.0);
+}
+
+// --- HdrHistogram (log-bucketed tail-latency histogram). ---
+
+/** Exact quantile of a sorted sample set, percentile()'s convention. */
+std::uint64_t
+exactQuantile(const std::vector<std::uint64_t>& sorted, double f)
+{
+    const double target = f * static_cast<double>(sorted.size());
+    auto rank = static_cast<std::size_t>(std::ceil(target));
+    if (rank > 0)
+        --rank;
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+TEST(HdrHistogram, EmptyIsZero)
+{
+    HdrHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(HdrHistogram, LinearRegionIsExact)
+{
+    HdrHistogram h;
+    for (std::uint64_t v = 0; v < 256; ++v)
+        h.add(v);
+    // Values below the sub-bucket count have one bucket each.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 127.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 255.0);
+    EXPECT_EQ(h.max(), 255u);
+    EXPECT_DOUBLE_EQ(h.mean(), 127.5);
+}
+
+TEST(HdrHistogram, QuantilesWithinOnePercentOfExact)
+{
+    // Cross-validation satellite: a heavy-tailed deterministic sample
+    // set spanning five decades; every reported quantile must be
+    // within 1% relative of the exact sorted-sample quantile (the
+    // geometry's own bound is 2^-8 = 0.39%).
+    HdrHistogram h;
+    Rng gen(99);
+    std::vector<std::uint64_t> samples;
+    for (int i = 0; i < 20000; ++i) {
+        // Bulk near 100..1100, tail stretched by squaring.
+        const std::uint64_t u = gen.nextBounded(1000) + 100;
+        const std::uint64_t v = (i % 100 == 0) ? u * u : u;
+        samples.push_back(v);
+        h.add(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    ASSERT_EQ(h.count(), samples.size());
+    for (const double f : {0.05, 0.25, 0.5, 0.9, 0.99, 0.999, 0.9999}) {
+        const auto exact =
+            static_cast<double>(exactQuantile(samples, f));
+        const double got = h.percentile(f);
+        EXPECT_NEAR(got, exact, 0.01 * exact + 0.5)
+            << "fraction " << f;
+    }
+    EXPECT_LE(h.relativeErrorBound(), 0.01);
+}
+
+TEST(HdrHistogram, OverflowClampsIntoTopBucket)
+{
+    HdrHistogram h(1 << 10);
+    h.add(std::uint64_t{500});
+    h.add(std::uint64_t{1} << 40);  // far past max_value
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    // The clamped sample still shows up in the top of the range.
+    EXPECT_EQ(h.max(), std::uint64_t{1} << 10);
+    EXPECT_GE(h.percentile(1.0), 1000.0);
+}
+
+TEST(HdrHistogram, NegativeAndFractionalDoublesClamp)
+{
+    HdrHistogram h;
+    h.add(-3.0);
+    h.add(2.6);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 3.0);  // rounded to nearest
+}
+
+TEST(HdrHistogram, MergeMatchesCombinedSamples)
+{
+    HdrHistogram a, b, all;
+    Rng gen(7);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = gen.nextBounded(1 << 20);
+        (i % 2 == 0 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.max(), all.max());
+    EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+    for (const double f : {0.1, 0.5, 0.99, 0.999})
+        EXPECT_DOUBLE_EQ(a.percentile(f), all.percentile(f));
+}
+
+TEST(HdrHistogram, MergeRejectsIncompatibleGeometry)
+{
+    HdrHistogram narrow(1 << 10), wide(1ULL << 40);
+    wide.add(std::uint64_t{42});
+    narrow.merge(wide);  // dropped, not corrupted
+    EXPECT_EQ(narrow.count(), 0u);
+}
+
+TEST(HdrHistogram, ResetClears)
+{
+    HdrHistogram h;
+    h.add(std::uint64_t{1000});
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
 }
 
 } // namespace

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Gate the overhead of compiled-in-but-disabled telemetry.
+"""Gate the overhead of compiled-in-but-disabled observability.
 
 Runs the micro_router google-benchmark binary and compares the
 whole-network-cycle benchmark without any telemetry attached
@@ -10,6 +10,11 @@ machines, unlike absolute wall-clock numbers. The gate fails when the
 idle-telemetry variant is more than ``--threshold`` (default 2%)
 slower.
 
+With ``--obs`` the idle variant is ``BM_NetworkCycleObsIdle`` instead:
+the same loop with a disabled self-profiler attached and the heatmap
+null check in place (DESIGN.md §14), gating the profiler/heatmap
+subsystem's disabled overhead by the same rule.
+
 A recorded baseline (``bench/micro_baseline.json``, written with
 ``--record``) provides a second, advisory comparison of absolute
 timings against the checked-in reference machine; it warns by default
@@ -17,6 +22,7 @@ and only fails under ``--enforce-baseline``.
 
 Usage:
   tools/check_telemetry_overhead.py --bench build/bench/micro_router
+  tools/check_telemetry_overhead.py --bench ... --obs   # profiler gate
   tools/check_telemetry_overhead.py --bench ... --record  # new baseline
 """
 
@@ -29,12 +35,13 @@ import tempfile
 
 BARE = "BM_NetworkCycle/30"
 IDLE = "BM_NetworkCycleTelemetryIdle"
+OBS_IDLE = "BM_NetworkCycleObsIdle"
 DEFAULT_BASELINE = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
     "bench", "micro_baseline.json")
 
 
-def run_benchmarks(bench, repetitions):
+def run_benchmarks(bench, repetitions, idle):
     """Run the two gated benchmarks, return {name: min_real_time_ns}."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as f:
         out_path = f.name
@@ -42,7 +49,7 @@ def run_benchmarks(bench, repetitions):
         cmd = [
             bench,
             "--benchmark_filter=^(%s|%s)$" % (BARE.replace("/", "/"),
-                                              IDLE),
+                                              idle),
             "--benchmark_repetitions=%d" % repetitions,
             "--benchmark_report_aggregates_only=false",
             "--benchmark_out_format=json",
@@ -81,20 +88,26 @@ def main():
                     help="fail (not warn) on recorded-baseline drift")
     ap.add_argument("--baseline-tolerance", type=float, default=25.0,
                     help="allowed drift vs recorded baseline, percent")
+    ap.add_argument("--obs", action="store_true",
+                    help="gate the disabled profiler/heatmap variant "
+                         "(%s) instead of idle telemetry" % OBS_IDLE)
     args = ap.parse_args()
 
-    report, times = run_benchmarks(args.bench, args.repetitions)
-    missing = [n for n in (BARE, IDLE) if n not in times]
+    idle_name = OBS_IDLE if args.obs else IDLE
+    label = "idle-observability" if args.obs else "idle-telemetry"
+    report, times = run_benchmarks(args.bench, args.repetitions,
+                                   idle_name)
+    missing = [n for n in (BARE, idle_name) if n not in times]
     if missing:
         print("error: benchmarks missing from report: %s" % missing)
         return 2
 
-    bare, idle = times[BARE], times[IDLE]
+    bare, idle = times[BARE], times[idle_name]
     overhead = 100.0 * (idle - bare) / bare
     print("%-32s %12.0f ns" % (BARE, bare))
-    print("%-32s %12.0f ns" % (IDLE, idle))
-    print("idle-telemetry overhead: %+.2f%% (threshold %.1f%%)"
-          % (overhead, args.threshold))
+    print("%-32s %12.0f ns" % (idle_name, idle))
+    print("%s overhead: %+.2f%% (threshold %.1f%%)"
+          % (label, overhead, args.threshold))
 
     if args.record:
         # Preserve unrelated sections (e.g. the sweep_baseline used by
@@ -104,7 +117,9 @@ def main():
             with open(args.baseline) as f:
                 payload = json.load(f)
         payload["context"] = report.get("context", {})
-        payload["times_ns"] = {BARE: bare, IDLE: idle}
+        payload.setdefault("times_ns", {})
+        payload["times_ns"][BARE] = bare
+        payload["times_ns"][idle_name] = idle
         with open(args.baseline, "w") as f:
             json.dump(payload, f, indent=2, sort_keys=True)
             f.write("\n")
@@ -112,15 +127,16 @@ def main():
 
     status = 0
     if overhead > args.threshold:
-        print("FAIL: disabled telemetry costs more than %.1f%%"
-              % args.threshold)
+        print("FAIL: disabled %s costs more than %.1f%%"
+              % ("observability" if args.obs else "telemetry",
+                 args.threshold))
         status = 1
 
     # Advisory absolute comparison against the recorded reference run.
     if not args.record and os.path.exists(args.baseline):
         with open(args.baseline) as f:
             recorded = json.load(f).get("times_ns", {})
-        for name in (BARE, IDLE):
+        for name in (BARE, idle_name):
             if name not in recorded:
                 continue
             drift = 100.0 * (times[name] - recorded[name]) \
