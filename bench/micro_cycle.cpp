@@ -228,7 +228,13 @@ void
 writeJson(std::ostream& os, const std::vector<ResultRow>& rows,
           std::int64_t cycles)
 {
+    // Uniform self-describing meta header (same as every other
+    // artifact family); the config hash covers the bench's baseline
+    // operating-point configuration.
+    RunMetadata meta = RunMetadata::fromConfig(defaultConfig());
+    meta.seed = kSeed;
     os << "{\"schema\":\"footprint.bench/1\",\"kind\":\"micro_cycle\""
+       << ",\"meta\":" << meta.toJson()
        << ",\"run\":{\"mesh\":\"multi\",\"seed\":" << kSeed
        << ",\"cycles\":" << cycles << "},\"results\":[";
     for (std::size_t i = 0; i < rows.size(); ++i) {

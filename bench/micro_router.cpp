@@ -15,6 +15,7 @@
 #include "obs/heatmap.hpp"
 #include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/timeseries.hpp"
 #include "router/allocators.hpp"
 #include "routing/routing.hpp"
 #include "sim/config.hpp"
@@ -140,18 +141,19 @@ BENCHMARK(BM_NetworkCycleTelemetryIdle);
 void
 BM_NetworkCycleObsIdle(benchmark::State& state)
 {
-    // Profiler/heatmap observability compiled in but disabled: a
-    // disabled profiler attach detaches (the stepping hot path keeps
-    // its null profiler pointer) and the heatmap null check mirrors
-    // TrafficManager's per-cycle gate. Against BM_NetworkCycle/30 this
-    // is the ≤2% disabled-overhead CI gate
+    // Profiler/heatmap/flight-recorder observability compiled in but
+    // disabled: a disabled profiler attach detaches (the stepping hot
+    // path keeps its null profiler pointer) and the heatmap/recorder
+    // null checks mirror TrafficManager's per-cycle gates. Against
+    // BM_NetworkCycle/30 this is the ≤2% disabled-overhead CI gate
     // (check_telemetry_overhead.py --obs).
     SimConfig cfg = netConfig("footprint");
     setQuiet(true);
     Network net(cfg);
     Profiler prof(false);
     net.attachProfiler(&prof);
-    std::unique_ptr<HeatmapCollector> heatmap;  // disabled => null
+    std::unique_ptr<HeatmapCollector> heatmap;    // disabled => null
+    std::unique_ptr<FlightRecorder> recorder;     // disabled => null
     Rng gen(7);
     std::uint64_t id = 0;
     std::int64_t cycle = 0;
@@ -172,7 +174,10 @@ BM_NetworkCycleObsIdle(benchmark::State& state)
         net.step(cycle);
         if (heatmap)
             heatmap->tick(cycle);
+        if (recorder)
+            recorder->tick(cycle);
         benchmark::DoNotOptimize(heatmap);
+        benchmark::DoNotOptimize(recorder);
         ++cycle;
         for (int n = 0; n < 64; ++n)
             (void)net.endpoint(n).drainEjected();

@@ -25,6 +25,15 @@
  *   --heatmap               windowed spatial heatmaps (heatmap.json,
  *                           footprint.heatmap/1; render with
  *                           tools/render_heatmap.py)
+ *   --timeseries            windowed flight-recorder JSONL stream
+ *                           (timeseries.jsonl, footprint.timeseries/1;
+ *                           render with tools/render_timeseries.py)
+ *   --console               live rate-limited status line on stderr
+ *
+ * Steady state (DESIGN.md §15): the flight recorder's online detector
+ * reports the convergence cycle and flags measurement windows that
+ * opened too early; warmup=auto ends warmup at convergence (capped by
+ * warmup_max_cycles).
  *
  * Sweep mode (rate ladder instead of a single run; see DESIGN.md §11):
  *   --sweep RATES           offered rates, "0.05,0.1,0.2" or lo:hi:n
@@ -34,12 +43,14 @@
  */
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "exec/exec_context.hpp"
 #include "exec/sweep_runner.hpp"
 #include "metrics/purity.hpp"
 #include "network/traffic_manager.hpp"
+#include "obs/console.hpp"
 #include "sim/config.hpp"
 #include "sim/log.hpp"
 
@@ -63,7 +74,8 @@ isBareFlag(const std::string& key)
 {
     return key == "audit" || key == "dump_on_abort"
         || key == "chrome_trace" || key == "profile"
-        || key == "heatmap";
+        || key == "heatmap" || key == "timeseries"
+        || key == "console";
 }
 
 /**
@@ -87,16 +99,26 @@ runSweepMode(footprint::SimConfig cfg)
 
     const auto jobs = static_cast<unsigned>(cfg.getInt("jobs"));
     const std::string out = cfg.getStr("bench_out");
+    const bool console = cfg.getBool("console");
     // Execution knobs are not part of the experiment identity: the
-    // artifact must not depend on --jobs/--bench-out (the CI
-    // determinism gate compares payloads across thread counts).
+    // artifact must not depend on --jobs/--bench-out/--console (the
+    // CI determinism gate compares payloads across thread counts).
     cfg.setInt("jobs", 0);
     cfg.set("bench_out", "");
+    cfg.setBool("console", false);
     spec.base = cfg;
 
     ExecContext ctx(jobs);
     SweepRunner runner(ctx);
+    std::unique_ptr<RunConsole> progress;
+    if (console) {
+        progress = std::make_unique<RunConsole>(
+            static_cast<int>(cfg.getInt("console_interval_ms")));
+        runner.attachConsole(progress.get());
+    }
     const SweepResult result = runner.run(spec);
+    if (progress)
+        progress->close();
 
     std::vector<CurvePoint> points;
     for (const JobResult& r : result.jobs) {
@@ -269,6 +291,37 @@ main(int argc, char** argv)
     if (!stats.drained) {
         std::printf("stall classification     : %s\n",
                     stats.stallClass.c_str());
+    }
+    // The recorder ran (timeseries stream and/or warmup=auto): report
+    // the detector verdict and any tree-saturation onset it saw.
+    if (cfg.getBool("timeseries")
+        || cfg.getStr("warmup") == "auto") {
+        if (stats.steadyStateCycle >= 0) {
+            std::printf("steady state             : detected at cycle "
+                        "%lld (warmup used %lld%s)\n",
+                        static_cast<long long>(stats.steadyStateCycle),
+                        static_cast<long long>(stats.warmupUsed),
+                        stats.measuredBeforeSteady
+                            ? ", MEASURED BEFORE STEADY"
+                            : "");
+        } else {
+            std::printf("steady state             : NOT reached "
+                        "(warmup used %lld)\n",
+                        static_cast<long long>(stats.warmupUsed));
+        }
+        if (stats.saturationOnsetCycle >= 0) {
+            std::printf("saturation onset         : cycle %lld "
+                        "(accepted lagged offered with growing "
+                        "backlog)\n",
+                        static_cast<long long>(
+                            stats.saturationOnsetCycle));
+        }
+    }
+    if (!stats.timeseriesPath.empty()) {
+        std::printf("timeseries stream        : %s (schema "
+                    "footprint.timeseries/1; "
+                    "tools/render_timeseries.py)\n",
+                    stats.timeseriesPath.c_str());
     }
     if (!stats.stateDumpPath.empty()) {
         std::printf("forensic state dump      : %s\n",

@@ -6,7 +6,7 @@
  * export the schema-versioned footprint.bench/1 artifact the CI
  * benchmark gate consumes.
  *
- * Usage: sweep [key=value ...] [--jobs N] [--out FILE]
+ * Usage: sweep [key=value ...] [--jobs N] [--out FILE] [--console]
  *
  * Sweep dimensions (key=value):
  *   sweep_rates=0.05,0.1,0.2   or lo:hi:count, e.g. 0.05:0.4:6
@@ -21,10 +21,12 @@
  */
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "exec/exec_context.hpp"
 #include "exec/sweep_runner.hpp"
+#include "obs/console.hpp"
 #include "sim/config.hpp"
 #include "sim/log.hpp"
 
@@ -48,11 +50,13 @@ main(int argc, char** argv)
             cfg.set("jobs", argv[++i]);
         } else if (arg == "--out" && i + 1 < argc) {
             cfg.set("bench_out", argv[++i]);
+        } else if (arg == "--console") {
+            cfg.setBool("console", true);
         } else if (arg.rfind("config=", 0) == 0) {
             cfg.loadFile(arg.substr(7));
         } else if (!cfg.parseAssignment(arg)) {
-            fatal("arguments must be key=value, --jobs N, or "
-                  "--out FILE, got: " + arg);
+            fatal("arguments must be key=value, --jobs N, --out FILE, "
+                  "or --console, got: " + arg);
         }
     }
     cfg.warnUnknownKeys();
@@ -68,15 +72,23 @@ main(int argc, char** argv)
 
     const auto jobs = static_cast<unsigned>(cfg.getInt("jobs"));
     const std::string out = cfg.getStr("bench_out");
+    const bool console = cfg.getBool("console");
     // Execution knobs are not part of the experiment's identity: the
     // artifact (config_hash included) must be byte-identical whatever
-    // --jobs/--out were, which is exactly what the CI determinism
-    // gate asserts.
+    // --jobs/--out/--console were, which is exactly what the CI
+    // determinism gate asserts.
     cfg.setInt("jobs", 0);
     cfg.set("bench_out", "");
+    cfg.setBool("console", false);
     spec.base = cfg;
     ExecContext ctx(jobs);
     SweepRunner runner(ctx);
+    std::unique_ptr<RunConsole> progress;
+    if (console) {
+        progress = std::make_unique<RunConsole>(
+            static_cast<int>(cfg.getInt("console_interval_ms")));
+        runner.attachConsole(progress.get());
+    }
 
     const std::size_t total = SweepRunner::expand(spec).size();
     std::printf("== footprint-noc sweep ==\n");
@@ -87,6 +99,8 @@ main(int argc, char** argv)
                 total, ctx.jobs());
 
     const SweepResult result = runner.run(spec);
+    if (progress)
+        progress->close();
 
     std::printf("\n%-8s %-16s %-12s %12s %16s\n", "mesh", "routing",
                 "traffic", "saturation", "zero-load lat");

@@ -1,16 +1,19 @@
 #include "exec/sweep_runner.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <tuple>
 
 #include "exec/exec_context.hpp"
 #include "network/traffic_manager.hpp"
+#include "obs/console.hpp"
 #include "obs/run_metadata.hpp"
 #include "obs/sink.hpp"
 #include "sim/log.hpp"
@@ -67,6 +70,13 @@ isolateArtifactPaths(SimConfig& cfg, std::size_t job)
     if (cfg.contains("dump_on_abort") && cfg.getBool("dump_on_abort"))
         cfg.set("dump_path",
                 jobSuffixedPath(cfg.getStr("dump_path"), job));
+    if (cfg.contains("timeseries") && cfg.getBool("timeseries")) {
+        const std::string base = cfg.contains("timeseries_out")
+                && !cfg.getStr("timeseries_out").empty()
+            ? cfg.getStr("timeseries_out")
+            : std::string("timeseries.jsonl");
+        cfg.set("timeseries_out", jobSuffixedPath(base, job));
+    }
 }
 
 /**
@@ -222,6 +232,9 @@ SweepRunner::expand(const SweepSpec& spec)
         job.cfg.set("traffic", traffic);
         job.cfg.setDouble("injection_rate", rate);
         job.cfg.setInt("seed", static_cast<std::int64_t>(job.seed));
+        // A per-job status line would interleave across workers; the
+        // sweep-level console owns the display.
+        job.cfg.setBool("console", false);
         isolateArtifactPaths(job.cfg, job.index);
         jobs.push_back(std::move(job));
     };
@@ -248,10 +261,15 @@ SweepRunner::run(const SweepSpec& spec)
     std::vector<SimJob> jobs = expand(spec);
 
     const auto start = std::chrono::steady_clock::now();
+    const int total = static_cast<int>(jobs.size());
+    auto done = std::make_shared<std::atomic<int>>(0);
+    RunConsole* console = console_;
+    if (console)
+        console->updateSweep(0, total);
     std::vector<std::function<JobResult()>> tasks;
     tasks.reserve(jobs.size());
     for (const SimJob& job : jobs) {
-        tasks.push_back([&job]() {
+        tasks.push_back([&job, console, done, total]() {
             const RunStats stats = runExperiment(job.cfg);
             JobResult r;
             r.index = job.index;
@@ -273,6 +291,10 @@ SweepRunner::run(const SweepSpec& spec)
             r.cycles = stats.cyclesRun;
             r.drained = stats.drained;
             r.stallClass = stats.stallClass;
+            r.steadyCycle = stats.steadyStateCycle;
+            r.satOnsetCycle = stats.saturationOnsetCycle;
+            if (console)
+                console->updateSweep(done->fetch_add(1) + 1, total);
             return r;
         });
     }
@@ -347,6 +369,10 @@ benchResultsJson(const SweepSpec& spec, const SweepResult& result,
     os << "{\n";
     os << "  \"schema\": \"footprint.bench/1\",\n";
 
+    // Uniform self-describing header shared by every artifact family
+    // (same shape as the CSV/JSONL/profile/heatmap/timeseries meta).
+    os << "  \"meta\": " << meta.toJson() << ",\n";
+
     // Deterministic run identity.
     os << "  \"run\": {\"git\": \""
        << jsonEscape(RunMetadata::buildVersion())
@@ -398,7 +424,9 @@ benchResultsJson(const SweepSpec& spec, const SweepResult& result,
            << ", \"cycles\": " << r.cycles << ", \"drained\": "
            << (r.drained ? "true" : "false") << ", \"saturated\": "
            << (r.point.saturated ? "true" : "false")
-           << ", \"stall\": \"" << jsonEscape(r.stallClass) << "\"}"
+           << ", \"stall\": \"" << jsonEscape(r.stallClass)
+           << "\", \"steady_cycle\": " << r.steadyCycle
+           << ", \"sat_onset\": " << r.satOnsetCycle << "}"
            << (i + 1 < result.jobs.size() ? "," : "") << "\n";
     }
     os << "  ],\n";

@@ -27,6 +27,7 @@
 namespace footprint {
 
 class ExecContext;
+class RunConsole;
 
 /** One mesh size of a sweep. */
 struct MeshSize
@@ -95,6 +96,10 @@ struct JobResult
     std::int64_t cycles = 0;
     bool drained = false;
     std::string stallClass = "none";
+    /** Steady-state cycle from the flight recorder (-1 = off/never). */
+    std::int64_t steadyCycle = -1;
+    /** Saturation-onset cycle from the flight recorder (-1 = none). */
+    std::int64_t satOnsetCycle = -1;
 };
 
 /**
@@ -127,6 +132,14 @@ class SweepRunner
     explicit SweepRunner(ExecContext& ctx) : ctx_(ctx) {}
 
     /**
+     * Show live per-job progress on @p console while run() executes
+     * (nullptr = silent). The console is display-only and updated
+     * from worker threads through its internal lock, so artifact
+     * bytes are unaffected. Must outlive run().
+     */
+    void attachConsole(RunConsole* console) { console_ = console; }
+
+    /**
      * Flatten @p spec into jobs in the canonical order: mesh, then
      * routing, then traffic, then replicate, then (zero-load probe,
      * rates ascending in spec order). The order is part of the
@@ -139,6 +152,7 @@ class SweepRunner
 
   private:
     ExecContext& ctx_;
+    RunConsole* console_ = nullptr;
 };
 
 /**

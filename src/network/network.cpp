@@ -604,6 +604,8 @@ Network::aggregateCounters() const
         sum.puritySum += c.puritySum;
         sum.puritySamples += c.puritySamples;
         sum.flitsTraversed += c.flitsTraversed;
+        for (std::size_t p = 0; p < sum.vaGrantsByPriority.size(); ++p)
+            sum.vaGrantsByPriority[p] += c.vaGrantsByPriority[p];
     }
     return sum;
 }

@@ -9,11 +9,13 @@
 
 #include "network/network.hpp"
 #include "obs/auditor.hpp"
+#include "obs/console.hpp"
 #include "obs/heatmap.hpp"
 #include "obs/profiler.hpp"
 #include "obs/run_metadata.hpp"
 #include "obs/state_dump.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/watchdog.hpp"
 #include "sim/log.hpp"
 #include "sim/rng.hpp"
@@ -146,6 +148,24 @@ TrafficManager::run()
     if (hm_cfg.enabled)
         heatmap = std::make_unique<HeatmapCollector>(net, hm_cfg);
 
+    // Flight recorder (DESIGN.md §15): streams windowed throughput /
+    // latency / regime records and feeds the steady-state detector.
+    // Built whenever the stream or warmup=auto needs it; like every
+    // other collector it only reads network state from this serial
+    // loop, so determinism is untouched, and when off it costs one
+    // null check per cycle.
+    const TimeseriesConfig ts_cfg = TimeseriesConfig::fromSim(cfg_);
+    std::unique_ptr<FlightRecorder> recorder;
+    if (ts_cfg.active())
+        recorder = std::make_unique<FlightRecorder>(net, ts_cfg, &meta);
+
+    // Live status line (display-only, rate-limited, off by default).
+    std::unique_ptr<RunConsole> console;
+    if (cfg_.getBool("console")) {
+        console = std::make_unique<RunConsole>(
+            static_cast<int>(cfg_.getInt("console_interval_ms")));
+    }
+
     // Observability supervisors: the invariant auditor and the
     // deadlock/livelock watchdog, both gated on the "audit" key and
     // both a single null check per cycle when disabled.
@@ -163,6 +183,8 @@ TrafficManager::run()
         watchdog = std::make_unique<Watchdog>(
             net, hub ? hub->tracer() : nullptr, wp);
     }
+    if (recorder)
+        recorder->setWatchdog(watchdog.get());
     const bool dump_on_abort = cfg_.getBool("dump_on_abort");
     const std::string dump_path = cfg_.getStr("dump_path");
     std::optional<ScopedSigintFlag> sigint_guard;
@@ -170,7 +192,15 @@ TrafficManager::run()
         sigint_guard.emplace();
 
     const std::string mode = cfg_.getStr("traffic");
-    const auto warmup = cfg_.getInt("warmup_cycles");
+    // Under warmup=auto the warmup length is detector-driven: it
+    // starts at the warmup_max_cycles cap and shrinks to the cycle at
+    // which the steady-state detector converges. The detector only
+    // consumes bit-identical window records, so the chosen warmup —
+    // and everything downstream of it — is identical across step
+    // modes and thread counts.
+    std::int64_t warmup = cfg_.getInt("warmup_cycles");
+    if (ts_cfg.warmupAuto)
+        warmup = ts_cfg.warmupMax;
     const auto measure = cfg_.getInt("measure_cycles");
     const auto drain_limit = cfg_.getInt("drain_cycles");
     const double rate = cfg_.getDouble("injection_rate");
@@ -229,6 +259,8 @@ TrafficManager::run()
         p.measured = measured;
         if (measured)
             ++stats.measuredCreated;
+        if (recorder)
+            recorder->onOffered(size);
         net.endpoint(src).enqueue(p);
     };
 
@@ -238,7 +270,7 @@ TrafficManager::run()
     std::int64_t trace_end_cycle = -1;
     std::int64_t last_progress_cycle = 0;
     std::int64_t cycle = 0;
-    const std::int64_t hard_limit = warmup + measure + drain_limit;
+    std::int64_t hard_limit = warmup + measure + drain_limit;
 
     const char* abort_reason = nullptr;
 
@@ -307,6 +339,8 @@ TrafficManager::run()
 
         if (cycle == warmup) {
             net.resetCounters();
+            if (recorder)
+                recorder->onCountersReset();
             for (int node = 0; node < n; ++node) {
                 flits_at_measure_start +=
                     net.endpoint(node).flitsEjected();
@@ -341,6 +375,8 @@ TrafficManager::run()
         for (int node = 0; node < n; ++node) {
             for (const EjectedPacket& p :
                  net.endpoint(node).drainEjected()) {
+                if (recorder)
+                    recorder->onEjected(p.latency());
                 if (p.flowClass == FlowClass::Hotspot) {
                     stats.hotspotLatency.add(
                         static_cast<double>(p.latency()));
@@ -361,6 +397,29 @@ TrafficManager::run()
         if (prof) {
             prof->addPhaseNs(ProfPhase::Collect,
                              Profiler::nowNs() - collect_t0);
+        }
+
+        // The recorder ticks after the collect loop so a window close
+        // sees the cycle's ejections in both the latency histogram and
+        // the accepted-flit delta.
+        if (recorder) {
+            recorder->tick(cycle);
+            // warmup=auto: end warmup at the first steady window.
+            if (ts_cfg.warmupAuto && cycle + 1 < warmup
+                && recorder->detector().converged()) {
+                warmup = cycle + 1;
+                hard_limit = warmup + measure + drain_limit;
+            }
+        }
+        if (console) {
+            const char* phase = cycle < warmup ? "warmup"
+                : cycle < warmup + measure     ? "measure"
+                                               : "drain";
+            const WindowRecord* last = recorder
+                    && !recorder->windows().empty()
+                ? &recorder->windows().back()
+                : nullptr;
+            console->updateRun(cycle, hard_limit, phase, last, n);
         }
 
         if (cycle == warmup + measure - 1) {
@@ -421,8 +480,34 @@ TrafficManager::run()
     if (hub)
         hub->finish(cycle);
 
+    if (console)
+        console->close();
     stats.cyclesRun = cycle;
     stats.saturated = !stats.drained;
+    stats.warmupUsed = warmup;
+    if (recorder) {
+        recorder->finish(cycle);
+        stats.steadyStateCycle = recorder->steadyCycle();
+        stats.saturationOnsetCycle = recorder->saturationOnsetCycle();
+        if (ts_cfg.enabled)
+            stats.timeseriesPath = ts_cfg.outPath;
+        // Flag measurement windows that opened before convergence:
+        // their statistics may carry warmup bias.
+        if (cycle > warmup
+            && (stats.steadyStateCycle < 0
+                || stats.steadyStateCycle > warmup)) {
+            stats.measuredBeforeSteady = true;
+            warn("measurement started at cycle "
+                 + std::to_string(warmup)
+                 + " before steady state was "
+                 + (stats.steadyStateCycle < 0
+                        ? std::string("reached")
+                        : "detected (steady at cycle "
+                            + std::to_string(stats.steadyStateCycle)
+                            + ")")
+                 + "; consider warmup=auto or a longer warmup");
+        }
+    }
     if (auditor)
         stats.auditViolations = auditor->violationCount();
     if (watchdog)

@@ -70,6 +70,34 @@ struct RunStats
     /** Path of the footprint.heatmap/1 document (heatmap=true). */
     std::string heatmapPath;
 
+    /** Path of the footprint.timeseries/1 stream (timeseries=true). */
+    std::string timeseriesPath;
+
+    /**
+     * Cycle at which the steady-state detector converged (end cycle
+     * of the first steady window); -1 when the flight recorder was
+     * off or the run never reached steady state.
+     */
+    std::int64_t steadyStateCycle = -1;
+
+    /**
+     * Start cycle of the first sustained window where accepted
+     * throughput lagged offered while the in-flight backlog grew
+     * (tree-saturation onset); -1 when the recorder was off or no
+     * onset was seen.
+     */
+    std::int64_t saturationOnsetCycle = -1;
+
+    /** Warmup cycles actually applied (differs under warmup=auto). */
+    std::int64_t warmupUsed = 0;
+
+    /**
+     * True when the measurement window opened before the detector
+     * had converged — the measured statistics may carry warmup bias.
+     * Only meaningful when the flight recorder ran.
+     */
+    bool measuredBeforeSteady = false;
+
     /** Router event counters over the measurement window. */
     Router::Counters counters;
 

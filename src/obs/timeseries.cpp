@@ -1,0 +1,330 @@
+#include "obs/timeseries.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "network/network.hpp"
+#include "obs/run_metadata.hpp"
+#include "obs/watchdog.hpp"
+#include "sim/config.hpp"
+
+namespace footprint {
+
+const char*
+vaRegimeName(int priority)
+{
+    // Indexed by Priority value (routing.hpp): Lowest..Reclaim.
+    static const char* kNames[kNumVaRegimes] = {
+        "escape", "busy", "footprint", "idle", "reclaim"};
+    if (priority < 0 || priority >= kNumVaRegimes)
+        return "unknown";
+    return kNames[priority];
+}
+
+TimeseriesConfig
+TimeseriesConfig::fromSim(const SimConfig& cfg)
+{
+    TimeseriesConfig tc;
+    tc.enabled =
+        cfg.contains("timeseries") && cfg.getBool("timeseries");
+    if (cfg.contains("timeseries_out")
+        && !cfg.getStr("timeseries_out").empty())
+        tc.outPath = cfg.getStr("timeseries_out");
+    if (cfg.contains("timeseries_interval"))
+        tc.interval = cfg.getInt("timeseries_interval");
+    if (tc.interval < 1)
+        tc.interval = 1;
+    if (cfg.contains("steady_windows"))
+        tc.steadyWindows = static_cast<int>(cfg.getInt("steady_windows"));
+    if (tc.steadyWindows < 2)
+        tc.steadyWindows = 2;
+    if (cfg.contains("steady_tolerance"))
+        tc.steadyTolerance = cfg.getDouble("steady_tolerance");
+    if (!(tc.steadyTolerance > 0.0))
+        tc.steadyTolerance = 0.02;
+    tc.warmupAuto =
+        cfg.contains("warmup") && cfg.getStr("warmup") == "auto";
+    if (cfg.contains("warmup_max_cycles"))
+        tc.warmupMax = cfg.getInt("warmup_max_cycles");
+    if (tc.warmupMax < tc.interval)
+        tc.warmupMax = tc.interval;
+    return tc;
+}
+
+double
+WindowRecord::offeredRate(int nodes) const
+{
+    const double denom = static_cast<double>(endCycle - startCycle)
+        * static_cast<double>(nodes);
+    return denom > 0.0
+        ? static_cast<double>(offeredFlits) / denom
+        : 0.0;
+}
+
+double
+WindowRecord::acceptedRate(int nodes) const
+{
+    const double denom = static_cast<double>(endCycle - startCycle)
+        * static_cast<double>(nodes);
+    return denom > 0.0
+        ? static_cast<double>(acceptedFlits) / denom
+        : 0.0;
+}
+
+SteadyStateDetector::SteadyStateDetector(int windows, double tolerance)
+    : windows_(windows < 2 ? 2 : windows),
+      tolerance_(tolerance > 0.0 ? tolerance : 0.02),
+      latencyMeans_(static_cast<std::size_t>(windows_), 0.0),
+      acceptedRates_(static_cast<std::size_t>(windows_), 0.0)
+{
+}
+
+double
+SteadyStateDetector::relativeHalfWidth(const std::vector<double>& ring,
+                                       std::size_t filled)
+{
+    double lo = ring[0];
+    double hi = ring[0];
+    for (std::size_t i = 1; i < filled; ++i) {
+        lo = std::min(lo, ring[i]);
+        hi = std::max(hi, ring[i]);
+    }
+    const double scale = std::max(std::abs(hi), 1e-12);
+    return (hi - lo) / (2.0 * scale);
+}
+
+void
+SteadyStateDetector::addWindow(const WindowRecord& w, int nodes)
+{
+    if (converged())
+        return;
+    // A window with no ejected packets cannot witness a steady
+    // latency; it resets the trailing evidence (the run is either
+    // still filling or fully stalled).
+    if (w.latencyCount == 0) {
+        filled_ = 0;
+        next_ = 0;
+        return;
+    }
+    latencyMeans_[next_] = w.latencyMean;
+    acceptedRates_[next_] = w.acceptedRate(nodes);
+    next_ = (next_ + 1) % latencyMeans_.size();
+    if (filled_ < latencyMeans_.size())
+        ++filled_;
+    if (filled_ < latencyMeans_.size())
+        return;
+
+    lastLatencySpread_ = relativeHalfWidth(latencyMeans_, filled_);
+    const double rate_spread =
+        relativeHalfWidth(acceptedRates_, filled_);
+    if (lastLatencySpread_ <= tolerance_ && rate_spread <= tolerance_)
+        steadyCycle_ = w.endCycle;
+}
+
+FlightRecorder::FlightRecorder(const Network& net,
+                               const TimeseriesConfig& cfg,
+                               const RunMetadata* meta)
+    : net_(net),
+      cfg_(cfg),
+      detector_(cfg.steadyWindows, cfg.steadyTolerance)
+{
+    width_ = net.mesh().width();
+    height_ = net.mesh().height();
+    nodes_ = net.mesh().numNodes();
+
+    ejectedBase_ = net.totalFlitsEjected();
+    const Router::Counters agg = net.aggregateCounters();
+    vaGrantBase_ = agg.vaGrantsByPriority;
+    vaFailBase_ = agg.vcAllocFail;
+
+    headerCache_ = "{\"schema\":\"footprint.timeseries/1\"";
+    if (meta) {
+        headerCache_ += ",\"meta\":";
+        headerCache_ += meta->toJson();
+    }
+    headerCache_ += ",\"mesh\":{\"width\":" + std::to_string(width_)
+        + ",\"height\":" + std::to_string(height_) + "}"
+        + ",\"interval\":" + std::to_string(cfg_.interval)
+        + ",\"steady_windows\":" + std::to_string(cfg_.steadyWindows);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ",\"steady_tolerance\":%.6g}",
+                  cfg_.steadyTolerance);
+    headerCache_ += buf;
+
+    if (cfg_.enabled && !cfg_.outPath.empty()) {
+        stream_ = std::make_unique<std::ofstream>(cfg_.outPath);
+        if (*stream_) {
+            *stream_ << headerCache_ << '\n';
+            stream_->flush();
+        } else {
+            stream_.reset();
+        }
+    }
+}
+
+void
+FlightRecorder::onCountersReset()
+{
+    // Network::resetCounters() zeroed the per-router counters; the
+    // per-window deltas must re-baseline at zero or the next window
+    // would underflow. Ejected-flit totals are monotone and survive
+    // the reset untouched on the endpoint side, but re-read them too
+    // in case the driver reset those as well.
+    ejectedBase_ = net_.totalFlitsEjected();
+    const Router::Counters agg = net_.aggregateCounters();
+    vaGrantBase_ = agg.vaGrantsByPriority;
+    vaFailBase_ = agg.vcAllocFail;
+}
+
+void
+FlightRecorder::closeWindow(std::int64_t end_cycle)
+{
+    WindowRecord w;
+    w.index = windowIndex_++;
+    w.startCycle = windowStart_;
+    w.endCycle = end_cycle;
+
+    w.offeredFlits = offeredFlits_;
+    const std::uint64_t ejected = net_.totalFlitsEjected();
+    w.acceptedFlits = ejected - ejectedBase_;
+    ejectedBase_ = ejected;
+    w.packetsEjected = packetsEjected_;
+
+    w.latencyCount = windowHist_.count();
+    w.latencyMean = windowHist_.mean();
+    w.latencyP50 = windowHist_.percentile(0.50);
+    w.latencyP99 = windowHist_.percentile(0.99);
+    w.latencyP999 = windowHist_.percentile(0.999);
+    w.latencyMax = windowHist_.max();
+    mergedHist_.merge(windowHist_);
+    windowHist_.reset();
+
+    w.flitsInFlight = net_.totalFlitsInFlight();
+    int active = 0;
+    for (int node = 0; node < nodes_; ++node) {
+        if (net_.router(node).hasPendingWork()
+            || net_.endpoint(node).hasPendingWork())
+            ++active;
+    }
+    w.activeNodes = active;
+
+    const Router::Counters agg = net_.aggregateCounters();
+    for (int p = 0; p < kNumVaRegimes; ++p) {
+        const auto i = static_cast<std::size_t>(p);
+        w.vaGrants[i] = agg.vaGrantsByPriority[i] - vaGrantBase_[i];
+        vaGrantBase_[i] = agg.vaGrantsByPriority[i];
+    }
+    w.vaFails = agg.vcAllocFail - vaFailBase_;
+    vaFailBase_ = agg.vcAllocFail;
+
+    if (watchdog_) {
+        const std::uint64_t total = watchdog_->events().size();
+        w.watchdogEvents = total - watchdogBase_;
+        watchdogBase_ = total;
+    }
+
+    detector_.addWindow(w, nodes_);
+
+    if (stream_) {
+        *stream_ << windowJson(w) << '\n';
+        stream_->flush();
+    }
+    windows_.push_back(w);
+
+    offeredFlits_ = 0;
+    packetsEjected_ = 0;
+    windowStart_ = end_cycle;
+}
+
+void
+FlightRecorder::finish(std::int64_t cycle)
+{
+    if (cycle > windowStart_)
+        closeWindow(cycle);
+    if (stream_)
+        stream_->flush();
+}
+
+std::int64_t
+FlightRecorder::saturationOnsetCycle() const
+{
+    // Saturation onset: offered load sustainedly exceeds what the
+    // network accepts while the in-flight backlog keeps growing. Two
+    // consecutive windows are required so a single bursty window
+    // (e.g. a drain hiccup) does not read as collapse.
+    const double tol = 0.05;
+    int streak = 0;
+    for (std::size_t i = 1; i < windows_.size(); ++i) {
+        const WindowRecord& w = windows_[i];
+        const bool lagging = w.offeredFlits > 0
+            && static_cast<double>(w.acceptedFlits)
+                < static_cast<double>(w.offeredFlits) * (1.0 - tol);
+        const bool growing =
+            w.flitsInFlight > windows_[i - 1].flitsInFlight;
+        if (lagging && growing) {
+            if (++streak >= 2) {
+                return windows_[i + 1 - static_cast<std::size_t>(streak)]
+                    .startCycle;
+            }
+        } else {
+            streak = 0;
+        }
+    }
+    return -1;
+}
+
+std::string
+FlightRecorder::headerJson() const
+{
+    return headerCache_;
+}
+
+std::string
+FlightRecorder::windowJson(const WindowRecord& w) const
+{
+    char buf[64];
+    std::string out = "{\"window\":" + std::to_string(w.index)
+        + ",\"start\":" + std::to_string(w.startCycle)
+        + ",\"end\":" + std::to_string(w.endCycle)
+        + ",\"offered_flits\":" + std::to_string(w.offeredFlits)
+        + ",\"accepted_flits\":" + std::to_string(w.acceptedFlits)
+        + ",\"packets\":" + std::to_string(w.packetsEjected);
+
+    std::snprintf(buf, sizeof(buf), ",\"offered_rate\":%.6g",
+                  w.offeredRate(nodes_));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"accepted_rate\":%.6g",
+                  w.acceptedRate(nodes_));
+    out += buf;
+
+    out += ",\"latency\":{\"count\":" + std::to_string(w.latencyCount);
+    std::snprintf(buf, sizeof(buf), ",\"mean\":%.6g", w.latencyMean);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"p50\":%.6g", w.latencyP50);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"p99\":%.6g", w.latencyP99);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"p999\":%.6g", w.latencyP999);
+    out += buf;
+    out += ",\"max\":" + std::to_string(w.latencyMax) + "}";
+
+    out += ",\"in_flight\":" + std::to_string(w.flitsInFlight)
+        + ",\"active_nodes\":" + std::to_string(w.activeNodes);
+
+    out += ",\"va_grants\":{";
+    for (int p = 0; p < kNumVaRegimes; ++p) {
+        if (p > 0)
+            out += ',';
+        out += '"';
+        out += vaRegimeName(p);
+        out += "\":"
+            + std::to_string(w.vaGrants[static_cast<std::size_t>(p)]);
+    }
+    out += "}";
+    out += ",\"va_fails\":" + std::to_string(w.vaFails)
+        + ",\"watchdog_events\":" + std::to_string(w.watchdogEvents)
+        + "}";
+    return out;
+}
+
+} // namespace footprint

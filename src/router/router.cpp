@@ -267,6 +267,8 @@ Router::runVcAllocation()
                 .allocate(ivc.front().dest);
             statusIdleDirty_[static_cast<std::size_t>(g.outPort)] = 1;
             ++counters_.vcAllocSuccess;
+            ++counters_.vaGrantsByPriority[static_cast<std::size_t>(
+                g.priority)];
             if (tracer_ && tracer_->traced(ivc.front().packetId))
                 tracer_->onVaGrant(ivc.front(), node_, cycle_);
         } else {

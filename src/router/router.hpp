@@ -68,6 +68,14 @@ class Router : public RouterView
         double puritySum = 0.0;           ///< sum of per-event purity
         std::uint64_t puritySamples = 0;
         std::uint64_t flitsTraversed = 0;
+        /**
+         * VC-allocation grants split by the winning request's
+         * Priority regime (escape / busy / footprint / idle /
+         * reclaim), indexed by the Priority enum value. Sums to
+         * vcAllocSuccess; the flight recorder diffs this per window
+         * to expose Algorithm-1 regime transitions over time.
+         */
+        std::array<std::uint64_t, 5> vaGrantsByPriority{};
 
         /** Mean footprint share of busy VCs at blocking events. */
         double

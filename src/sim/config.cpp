@@ -37,6 +37,11 @@ constexpr std::array kKnownKeys = {
     // Self-profiler / spatial heatmap observatory (DESIGN.md §14).
     "profile", "profile_out", "heatmap", "heatmap_out",
     "heatmap_window", "heatmap_sample_interval",
+    // Flight recorder / steady-state detector / console (DESIGN.md
+    // §15).
+    "timeseries", "timeseries_out", "timeseries_interval",
+    "steady_windows", "steady_tolerance", "warmup",
+    "warmup_max_cycles", "console", "console_interval_ms",
     // Auditing / watchdog / forensics.
     "audit", "audit_interval", "watchdog_interval",
     "watchdog_max_hops", "watchdog_max_age", "dump_on_abort",
@@ -328,6 +333,16 @@ defaultConfig()
     cfg.set("heatmap_out", "heatmap.json");
     cfg.setInt("heatmap_window", 1000); // cycles per window
     cfg.setInt("heatmap_sample_interval", 8); // gauge sampling stride
+    // Flight recorder / steady-state detector / console (§15).
+    cfg.setBool("timeseries", false);   // windowed JSONL stream
+    cfg.set("timeseries_out", "timeseries.jsonl");
+    cfg.setInt("timeseries_interval", 1000); // cycles per window
+    cfg.setInt("steady_windows", 8);    // trailing means compared
+    cfg.setDouble("steady_tolerance", 0.02); // relative half-width
+    cfg.set("warmup", "");              // "auto" = detector-driven
+    cfg.setInt("warmup_max_cycles", 50000); // cap on auto warmup
+    cfg.setBool("console", false);      // live stderr status line
+    cfg.setInt("console_interval_ms", 250); // redraw rate limit
     // Auditing / watchdog / forensics (DESIGN.md "Runtime auditing").
     cfg.setBool("audit", false);        // invariant auditor + watchdog
     cfg.setInt("audit_interval", 1000); // cycles between audits

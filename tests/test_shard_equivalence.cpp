@@ -107,6 +107,8 @@ runSignature(const std::string& routing, double load,
         const Router::Counters& c = net.router(n).counters();
         sig.push_back(c.vcAllocSuccess);
         sig.push_back(c.vcAllocFail);
+        for (const std::uint64_t g : c.vaGrantsByPriority)
+            sig.push_back(g);
         sig.push_back(c.flitsTraversed);
         sig.push_back(c.puritySamples);
         sig.push_back(c.puritySum);

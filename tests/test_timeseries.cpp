@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Tests for the streaming flight recorder (DESIGN.md §15): config
+ * parsing and clamping, per-window latency-histogram mergeability,
+ * steady-state detector convergence, window math against a driven
+ * network, JSONL record shape, warmup=auto, measured-before-steady
+ * flagging, saturation-onset extraction, and bit-identical window
+ * records across the full / activity / sharded step modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "network/network.hpp"
+#include "network/traffic_manager.hpp"
+#include "obs/hdr_histogram.hpp"
+#include "obs/timeseries.hpp"
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+
+namespace footprint {
+namespace {
+
+TEST(TimeseriesConfig, FromSimReadsDefaults)
+{
+    const TimeseriesConfig tc =
+        TimeseriesConfig::fromSim(defaultConfig());
+    EXPECT_FALSE(tc.enabled);
+    EXPECT_EQ(tc.outPath, "timeseries.jsonl");
+    EXPECT_EQ(tc.interval, 1000);
+    EXPECT_EQ(tc.steadyWindows, 8);
+    EXPECT_DOUBLE_EQ(tc.steadyTolerance, 0.02);
+    EXPECT_FALSE(tc.warmupAuto);
+    EXPECT_EQ(tc.warmupMax, 50000);
+    EXPECT_FALSE(tc.active());
+}
+
+TEST(TimeseriesConfig, FromSimClampsDegenerateValues)
+{
+    SimConfig cfg = defaultConfig();
+    cfg.setBool("timeseries", true);
+    cfg.setInt("timeseries_interval", 0);
+    cfg.setInt("steady_windows", 1);
+    cfg.setDouble("steady_tolerance", -0.5);
+    cfg.setInt("warmup_max_cycles", -100);
+    const TimeseriesConfig tc = TimeseriesConfig::fromSim(cfg);
+    EXPECT_TRUE(tc.enabled);
+    EXPECT_TRUE(tc.active());
+    EXPECT_EQ(tc.interval, 1);
+    EXPECT_EQ(tc.steadyWindows, 2);
+    EXPECT_DOUBLE_EQ(tc.steadyTolerance, 0.02);
+    // warmup_max_cycles floors at one window interval.
+    EXPECT_GE(tc.warmupMax, tc.interval);
+}
+
+TEST(TimeseriesConfig, WarmupAutoActivatesRecorderWithoutStream)
+{
+    SimConfig cfg = defaultConfig();
+    cfg.set("warmup", "auto");
+    const TimeseriesConfig tc = TimeseriesConfig::fromSim(cfg);
+    EXPECT_FALSE(tc.enabled);
+    EXPECT_TRUE(tc.warmupAuto);
+    EXPECT_TRUE(tc.active());
+}
+
+TEST(TimeseriesConfig, NewKeysAreRegistered)
+{
+    for (const char* key :
+         {"timeseries", "timeseries_out", "timeseries_interval",
+          "steady_windows", "steady_tolerance", "warmup",
+          "warmup_max_cycles", "console", "console_interval_ms"}) {
+        EXPECT_TRUE(SimConfig::isKnownKey(key))
+            << key << " must be a registered config key";
+    }
+}
+
+/** Hand-build a window with the given latency mean and rate. */
+WindowRecord
+makeWindow(std::int64_t index, double latency_mean,
+           std::uint64_t accepted, std::int64_t interval = 100)
+{
+    WindowRecord w;
+    w.index = index;
+    w.startCycle = index * interval;
+    w.endCycle = (index + 1) * interval;
+    w.latencyCount = 50;
+    w.latencyMean = latency_mean;
+    w.acceptedFlits = accepted;
+    return w;
+}
+
+TEST(SteadyStateDetector, ConvergesOnFlatSeries)
+{
+    SteadyStateDetector det(4, 0.02);
+    EXPECT_FALSE(det.converged());
+    for (std::int64_t i = 0; i < 4; ++i) {
+        det.addWindow(makeWindow(i, 20.0, 500), 16);
+        // Needs the full trailing ring before it may converge.
+        EXPECT_EQ(det.converged(), i == 3);
+    }
+    EXPECT_EQ(det.steadyCycle(), 400);
+    // The detected cycle is latched at first convergence.
+    det.addWindow(makeWindow(4, 20.0, 500), 16);
+    EXPECT_EQ(det.steadyCycle(), 400);
+}
+
+TEST(SteadyStateDetector, RejectsDriftingLatency)
+{
+    SteadyStateDetector det(4, 0.02);
+    // Latency grows 20% per window: never within a 2% half-width.
+    double lat = 20.0;
+    for (std::int64_t i = 0; i < 12; ++i, lat *= 1.2)
+        det.addWindow(makeWindow(i, lat, 500), 16);
+    EXPECT_FALSE(det.converged());
+    EXPECT_EQ(det.steadyCycle(), -1);
+    EXPECT_GT(det.lastLatencySpread(), 0.02);
+}
+
+TEST(SteadyStateDetector, RejectsDriftingThroughputEvenIfLatencyFlat)
+{
+    SteadyStateDetector det(4, 0.02);
+    std::uint64_t accepted = 100;
+    for (std::int64_t i = 0; i < 12; ++i, accepted += 40)
+        det.addWindow(makeWindow(i, 20.0, accepted), 16);
+    EXPECT_FALSE(det.converged());
+}
+
+TEST(SteadyStateDetector, EmptyWindowResetsTheRing)
+{
+    SteadyStateDetector det(3, 0.02);
+    det.addWindow(makeWindow(0, 20.0, 500), 16);
+    det.addWindow(makeWindow(1, 20.0, 500), 16);
+    // A window with no ejections (e.g. drain tail / dead network)
+    // invalidates the trailing means instead of polluting them.
+    WindowRecord empty = makeWindow(2, 0.0, 0);
+    empty.latencyCount = 0;
+    det.addWindow(empty, 16);
+    det.addWindow(makeWindow(3, 20.0, 500), 16);
+    det.addWindow(makeWindow(4, 20.0, 500), 16);
+    EXPECT_FALSE(det.converged());
+    det.addWindow(makeWindow(5, 20.0, 500), 16);
+    EXPECT_TRUE(det.converged());
+    EXPECT_EQ(det.steadyCycle(), 600);
+}
+
+/** Drive a network with the recorder attached, uniform load. */
+void
+driveUniform(Network& net, FlightRecorder& rec, std::int64_t cycles,
+             double load, std::uint64_t seed = 23)
+{
+    const int nodes = net.mesh().numNodes();
+    Rng gen(seed);
+    std::uint64_t id = 0;
+    for (std::int64_t cycle = 0; cycle < cycles; ++cycle) {
+        for (int n = 0; n < nodes; ++n) {
+            if (gen.nextBool(load)) {
+                Packet p;
+                p.id = ++id;
+                p.src = n;
+                p.dest = static_cast<int>(gen.nextBounded(nodes));
+                if (p.dest == n)
+                    continue;
+                p.size = 1 + static_cast<int>(gen.nextBounded(3));
+                p.createTime = cycle;
+                net.endpoint(n).enqueue(p);
+                rec.onOffered(p.size);
+            }
+        }
+        net.step(cycle);
+        for (int n = 0; n < nodes; ++n)
+            for (const EjectedPacket& e :
+                 net.endpoint(n).drainEjected())
+                rec.onEjected(e.latency());
+        rec.tick(cycle);
+    }
+    rec.finish(cycles);
+}
+
+TimeseriesConfig
+recorderConfig(std::int64_t interval)
+{
+    TimeseriesConfig tc;
+    tc.enabled = true;
+    tc.outPath = "";  // no stream; in-memory windows only
+    tc.interval = interval;
+    return tc;
+}
+
+TEST(FlightRecorder, WindowsTileTheRunWithConservedFlits)
+{
+    SimConfig cfg = defaultConfig();
+    Network net(cfg);
+    FlightRecorder rec(net, recorderConfig(100), nullptr);
+    driveUniform(net, rec, 250, 0.05);
+
+    // [0,100), [100,200), and the partial trailing [200,250).
+    ASSERT_EQ(rec.windows().size(), 3u);
+    const auto& w = rec.windows();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        EXPECT_EQ(w[i].index, static_cast<std::int64_t>(i));
+        if (i > 0) {
+            EXPECT_EQ(w[i].startCycle, w[i - 1].endCycle);
+        }
+    }
+    EXPECT_EQ(w[2].endCycle, 250);
+
+    // Window deltas of the network counters must sum to the totals.
+    std::uint64_t accepted = 0;
+    std::uint64_t va_grants = 0;
+    std::uint64_t packets = 0;
+    for (const WindowRecord& rw : w) {
+        accepted += rw.acceptedFlits;
+        va_grants += rw.vaGrants[0] + rw.vaGrants[1] + rw.vaGrants[2] +
+                     rw.vaGrants[3] + rw.vaGrants[4];
+        packets += rw.packetsEjected;
+    }
+    EXPECT_EQ(accepted, net.totalFlitsEjected());
+    EXPECT_EQ(va_grants, net.aggregateCounters().vcAllocSuccess);
+    EXPECT_GT(packets, 0u);
+}
+
+TEST(FlightRecorder, PerRegimeGrantsSumToVcAllocSuccess)
+{
+    SimConfig cfg = defaultConfig();
+    cfg.set("routing", "footprint");
+    Network net(cfg);
+    FlightRecorder rec(net, recorderConfig(200), nullptr);
+    driveUniform(net, rec, 400, 0.2);
+    const Router::Counters total = net.aggregateCounters();
+    std::uint64_t by_regime = 0;
+    for (int r = 0; r < kNumVaRegimes; ++r)
+        by_regime += total.vaGrantsByPriority[static_cast<std::size_t>(
+            r)];
+    EXPECT_EQ(by_regime, total.vcAllocSuccess);
+    EXPECT_GT(by_regime, 0u);
+}
+
+TEST(FlightRecorder, MergedWindowHistogramEqualsRunWideHistogram)
+{
+    // The mergeability property: per-window histograms merged window
+    // by window must be indistinguishable from one histogram fed
+    // every sample — identical counts and quantiles.
+    SimConfig cfg = defaultConfig();
+    Network net(cfg);
+    FlightRecorder rec(net, recorderConfig(50), nullptr);
+
+    HdrHistogram direct;
+    const int nodes = net.mesh().numNodes();
+    Rng gen(31);
+    std::uint64_t id = 0;
+    for (std::int64_t cycle = 0; cycle < 300; ++cycle) {
+        for (int n = 0; n < nodes; ++n) {
+            if (gen.nextBool(0.1)) {
+                Packet p;
+                p.id = ++id;
+                p.src = n;
+                p.dest = static_cast<int>(gen.nextBounded(nodes));
+                if (p.dest == n)
+                    continue;
+                p.size = 1;
+                p.createTime = cycle;
+                net.endpoint(n).enqueue(p);
+                rec.onOffered(p.size);
+            }
+        }
+        net.step(cycle);
+        for (int n = 0; n < nodes; ++n) {
+            for (const EjectedPacket& e :
+                 net.endpoint(n).drainEjected()) {
+                rec.onEjected(e.latency());
+                direct.add(
+                    static_cast<std::uint64_t>(e.latency()));
+            }
+        }
+        rec.tick(cycle);
+    }
+    rec.finish(300);
+
+    const HdrHistogram& merged = rec.mergedLatencyHist();
+    ASSERT_GT(direct.count(), 0u);
+    EXPECT_EQ(merged.count(), direct.count());
+    EXPECT_EQ(merged.max(), direct.max());
+    EXPECT_DOUBLE_EQ(merged.mean(), direct.mean());
+    for (double q : {0.5, 0.9, 0.99, 0.999})
+        EXPECT_DOUBLE_EQ(merged.percentile(q), direct.percentile(q));
+
+    // And the per-window latency counts sum to the total.
+    std::uint64_t window_count = 0;
+    for (const WindowRecord& w : rec.windows())
+        window_count += w.latencyCount;
+    EXPECT_EQ(window_count, direct.count());
+}
+
+TEST(FlightRecorder, WindowJsonHasSchemaFieldsAndHeaderHasSchema)
+{
+    SimConfig cfg = defaultConfig();
+    Network net(cfg);
+    FlightRecorder rec(net, recorderConfig(100), nullptr);
+    driveUniform(net, rec, 120, 0.05);
+    ASSERT_FALSE(rec.windows().empty());
+
+    const std::string header = rec.headerJson();
+    EXPECT_NE(header.find("\"schema\":\"footprint.timeseries/1\""),
+              std::string::npos);
+    EXPECT_NE(header.find("\"mesh\""), std::string::npos);
+
+    const std::string line = rec.windowJson(rec.windows().front());
+    for (const char* field :
+         {"\"window\"", "\"start\"", "\"end\"", "\"offered_flits\"",
+          "\"accepted_flits\"", "\"packets\"", "\"offered_rate\"",
+          "\"accepted_rate\"", "\"latency\"", "\"in_flight\"",
+          "\"active_nodes\"", "\"va_grants\"", "\"va_fails\"",
+          "\"watchdog_events\"", "\"escape\"", "\"busy\"",
+          "\"footprint\"", "\"idle\"", "\"reclaim\"", "\"p99\"",
+          "\"p999\""}) {
+        EXPECT_NE(line.find(field), std::string::npos)
+            << "window record is missing " << field;
+    }
+}
+
+// ---------------------------------------------------------------
+// runExperiment integration.
+// ---------------------------------------------------------------
+
+SimConfig
+runConfig(double rate)
+{
+    SimConfig cfg = defaultConfig();
+    cfg.setInt("mesh_width", 4);
+    cfg.setInt("mesh_height", 4);
+    cfg.setInt("num_vcs", 4);
+    cfg.set("routing", "footprint");
+    cfg.set("traffic", "uniform");
+    cfg.setDouble("injection_rate", rate);
+    cfg.setInt("warmup_cycles", 300);
+    cfg.setInt("measure_cycles", 1500);
+    cfg.setInt("drain_cycles", 4000);
+    cfg.setInt("timeseries_interval", 100);
+    return cfg;
+}
+
+TEST(TimeseriesRun, StreamIsWrittenAndWellFormed)
+{
+    const std::string path = "ts_run_stream.jsonl";
+    SimConfig cfg = runConfig(0.1);
+    cfg.setBool("timeseries", true);
+    cfg.set("timeseries_out", path);
+    const RunStats stats = runExperiment(cfg);
+    EXPECT_TRUE(stats.drained);
+    EXPECT_EQ(stats.timeseriesPath, path);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);)
+        if (!line.empty())
+            lines.push_back(line);
+    // Header plus at least the warmup+measure windows.
+    ASSERT_GE(lines.size(), 2u);
+    EXPECT_NE(
+        lines[0].find("\"schema\":\"footprint.timeseries/1\""),
+        std::string::npos);
+    // The header carries the run metadata stamp.
+    EXPECT_NE(lines[0].find("\"seed\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"config_hash\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"window\":0"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TimeseriesRun, TooShortWarmupIsFlagged)
+{
+    // With a 100-cycle warmup the 8-window detector cannot possibly
+    // have converged by measurement start: the run must carry the
+    // measured-before-steady flag instead of silently reporting
+    // biased numbers.
+    SimConfig cfg = runConfig(0.1);
+    cfg.setBool("timeseries", true);
+    cfg.set("timeseries_out", "ts_short_warmup.jsonl");
+    cfg.setInt("warmup_cycles", 100);
+    const RunStats stats = runExperiment(cfg);
+    EXPECT_TRUE(stats.measuredBeforeSteady);
+    EXPECT_EQ(stats.warmupUsed, 100);
+    std::remove("ts_short_warmup.jsonl");
+}
+
+TEST(TimeseriesRun, WarmupAutoEndsWarmupAtConvergence)
+{
+    SimConfig cfg = runConfig(0.1);
+    cfg.set("warmup", "auto");
+    cfg.setInt("warmup_max_cycles", 20000);
+    // Wider windows and a looser tolerance than the default: a 4x4
+    // mesh at 10% load has too few packets per 100-cycle window for
+    // a 2% half-width to be statistically reachable.
+    cfg.setInt("timeseries_interval", 500);
+    cfg.setDouble("steady_tolerance", 0.08);
+    const RunStats stats = runExperiment(cfg);
+    EXPECT_TRUE(stats.drained);
+    // Converged strictly before the cap, on a window boundary.
+    ASSERT_GE(stats.steadyStateCycle, 0);
+    EXPECT_LT(stats.warmupUsed, 20000);
+    EXPECT_EQ(stats.warmupUsed, stats.steadyStateCycle);
+    EXPECT_EQ(stats.warmupUsed % 500, 0);
+    EXPECT_FALSE(stats.measuredBeforeSteady);
+    EXPECT_GT(stats.measuredEjected, 0u);
+}
+
+TEST(TimeseriesRun, SaturatedRunReportsOnsetAndNoSteadyState)
+{
+    // Far past saturation: accepted lags offered with a growing
+    // backlog, so onset must be detected; the 2%-tolerance detector
+    // must not declare such a run steady before measurement.
+    SimConfig cfg = runConfig(0.95);
+    cfg.setBool("timeseries", true);
+    cfg.set("timeseries_out", "ts_saturated.jsonl");
+    cfg.setInt("measure_cycles", 2000);
+    cfg.setInt("drain_cycles", 300);
+    const RunStats stats = runExperiment(cfg);
+    EXPECT_GE(stats.saturationOnsetCycle, 0);
+    EXPECT_TRUE(stats.measuredBeforeSteady);
+    std::remove("ts_saturated.jsonl");
+}
+
+TEST(TimeseriesRun, WindowRecordsAreIdenticalAcrossStepModes)
+{
+    // The determinism contract: recorder windows — and hence every
+    // steady-state / saturation decision — must be bit-identical
+    // across the serial and parallel stepping engines.
+    auto windows = [](const std::string& mode, unsigned shards) {
+        SimConfig cfg = runConfig(0.25);
+        cfg.setBool("timeseries", true);
+        const std::string path = "ts_mode_" + mode + ".jsonl";
+        cfg.set("timeseries_out", path);
+        cfg.set("step_mode", mode);
+        if (shards > 0)
+            cfg.setInt("shards", static_cast<std::int64_t>(shards));
+        const RunStats stats = runExperiment(cfg);
+        std::ifstream in(path);
+        std::vector<std::string> lines;
+        for (std::string line; std::getline(in, line);)
+            if (!line.empty())
+                lines.push_back(line);
+        std::remove(path.c_str());
+        // Drop the header: config_hash differs across step modes by
+        // construction (step_mode is part of the config identity).
+        return std::pair<std::vector<std::string>, std::int64_t>(
+            std::vector<std::string>(lines.begin() + 1, lines.end()),
+            stats.steadyStateCycle);
+    };
+
+    const auto full = windows("full", 0);
+    const auto act = windows("activity", 0);
+    const auto shard2 = windows("sharded", 2);
+    const auto shard4 = windows("sharded", 4);
+    ASSERT_GT(full.first.size(), 5u);
+    EXPECT_EQ(full.first, act.first);
+    EXPECT_EQ(full.first, shard2.first);
+    EXPECT_EQ(full.first, shard4.first);
+    EXPECT_EQ(full.second, act.second);
+    EXPECT_EQ(full.second, shard2.second);
+    EXPECT_EQ(full.second, shard4.second);
+}
+
+} // namespace
+} // namespace footprint
