@@ -21,6 +21,16 @@
  * cross-checks the rows again from the artifact — so the bench doubles
  * as the determinism gate for parallel stepping.
  *
+ * Every point also runs with the event-horizon fast path enabled
+ * (DESIGN.md §16), emitted as an "@skip" row (activity stepping) and,
+ * on the thread-axis point, an "@t4skip" row (sharded at 4 threads).
+ * Injection is schedule-driven (InjectionSchedule draws geometric
+ * inter-arrival gaps, consuming RNG only at fire events), so the
+ * traffic is identical whether idle spans are ticked or jumped — the
+ * skip rows must reproduce the full-stepping checksum bit for bit,
+ * enforced both here (nonzero exit) and by the CI gate (rows sharing
+ * a base name modulo '@...' must agree).
+ *
  * Usage: micro_cycle [--cycles N] [--out FILE]
  *                    [--profile [--profile-out FILE]]
  *
@@ -45,6 +55,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,8 +63,10 @@
 #include "obs/profiler.hpp"
 #include "obs/run_metadata.hpp"
 #include "sim/config.hpp"
+#include "sim/horizon.hpp"
 #include "sim/log.hpp"
 #include "sim/rng.hpp"
+#include "traffic/injection.hpp"
 
 namespace footprint {
 namespace {
@@ -127,7 +140,7 @@ pointConfig(const std::string& routing, const OperatingPoint& pt,
 RunOutcome
 runOne(const std::string& routing, const OperatingPoint& pt,
        std::int64_t cycles, const char* step_mode, int threads,
-       Profiler* prof = nullptr)
+       bool skip_ahead = false, Profiler* prof = nullptr)
 {
     SimConfig cfg = pointConfig(routing, pt, step_mode, threads);
     Network net(cfg);
@@ -138,6 +151,14 @@ runOne(const std::string& routing, const OperatingPoint& pt,
 
     const int nodes = pt.meshW * pt.meshH;
     Rng gen(kSeed);
+    // Schedule-driven injection: per fire the draws are dest then next
+    // gap, so the RNG sequence depends only on the fire events — never
+    // on how many idle cycles elapsed — and skip-ahead runs reproduce
+    // the per-cycle checksum exactly.
+    std::unique_ptr<InjectionSchedule> sched;
+    if (pt.load > 0.0)
+        sched = std::make_unique<InjectionSchedule>(nodes, pt.load,
+                                                    gen);
     std::uint64_t id = 0;
     std::uint64_t drained = 0;
     std::uint64_t hops_sum = 0;
@@ -145,31 +166,41 @@ runOne(const std::string& routing, const OperatingPoint& pt,
 
     const auto t0 = std::chrono::steady_clock::now();
     for (std::int64_t cycle = 0; cycle < cycles; ++cycle) {
-        if (pt.load > 0.0) {
-            for (int n = 0; n < nodes; ++n) {
-                if (gen.nextBool(pt.load)) {
-                    Packet p;
-                    p.id = ++id;
-                    p.src = n;
-                    p.dest = static_cast<int>(
-                        gen.nextBounded(
-                            static_cast<std::uint64_t>(nodes)));
-                    if (p.dest == n)
-                        continue;
-                    p.size = 1;
-                    p.createTime = cycle;
-                    net.endpoint(n).enqueue(p);
-                }
+        if (sched) {
+            for (int slot; (slot = sched->popDue(cycle)) >= 0;) {
+                const int dest = static_cast<int>(gen.nextBounded(
+                    static_cast<std::uint64_t>(nodes)));
+                sched->scheduleNext(slot, cycle, gen);
+                if (dest == slot)
+                    continue;
+                Packet p;
+                p.id = ++id;
+                p.src = slot;
+                p.dest = dest;
+                p.size = 1;
+                p.createTime = cycle;
+                net.endpoint(slot).enqueue(p);
             }
         }
         net.step(cycle);
         for (int n = 0; n < nodes; ++n) {
+            if (net.endpoint(n).ejectedCount() == 0)
+                continue;
             for (const EjectedPacket& p :
                  net.endpoint(n).drainEjected()) {
                 ++drained;
                 hops_sum += static_cast<std::uint64_t>(p.hops);
                 create_sum +=
                     static_cast<std::uint64_t>(p.createTime);
+            }
+        }
+        if (skip_ahead && net.idle()) {
+            HorizonTracker hz(cycle + 1, cycles);
+            if (sched)
+                hz.clamp(sched->nextFireCycle());
+            if (hz.skips()) {
+                net.skipTo(hz.cycle());
+                cycle = hz.cycle() - 1;
             }
         }
     }
@@ -346,7 +377,8 @@ runProfileMode(std::int64_t cycles, const std::string& out_path)
 
             Profiler act_prof;
             const RunOutcome act = runOne(routing, pt, pt_cycles,
-                                          "activity", 1, &act_prof);
+                                          "activity", 1, false,
+                                          &act_prof);
             if (act.checksum != full.checksum) {
                 std::fprintf(stderr,
                              "FAIL: %s: profiled activity run "
@@ -363,7 +395,7 @@ runProfileMode(std::int64_t cycles, const std::string& out_path)
                 Profiler prof;
                 const RunOutcome sharded =
                     runOne(routing, pt, pt_cycles, "sharded", threads,
-                           &prof);
+                           false, &prof);
                 if (sharded.checksum != full.checksum) {
                     std::fprintf(
                         stderr,
@@ -452,6 +484,21 @@ run(int argc, char** argv)
             rows.push_back(makeRow(pt, routing, base, "activity", 1,
                                    pt_cycles, act, full));
             printRow(rows.back());
+            const RunOutcome skip = runOne(routing, pt, pt_cycles,
+                                           "activity", 1, true);
+            if (skip.checksum != full.checksum) {
+                std::fprintf(
+                    stderr,
+                    "FAIL: %s/%s: skip-ahead stepping diverged from "
+                    "full stepping (checksum %s vs %s)\n",
+                    pt.name, routing, hex64(skip.checksum).c_str(),
+                    hex64(full.checksum).c_str());
+                return 1;
+            }
+            rows.push_back(makeRow(pt, routing, base + "@skip",
+                                   "activity", 1, pt_cycles, skip,
+                                   full));
+            printRow(rows.back());
             if (!pt.threadAxis)
                 continue;
             for (const int threads : kThreadCounts) {
@@ -474,6 +521,23 @@ run(int argc, char** argv)
                     threads, pt_cycles, sharded, full));
                 printRow(rows.back());
             }
+            const RunOutcome sharded_skip = runOne(
+                routing, pt, pt_cycles, "sharded", 4, true);
+            if (sharded_skip.checksum != full.checksum) {
+                std::fprintf(
+                    stderr,
+                    "FAIL: %s/%s: sharded skip-ahead stepping "
+                    "diverged from full stepping (checksum %s vs "
+                    "%s)\n",
+                    pt.name, routing,
+                    hex64(sharded_skip.checksum).c_str(),
+                    hex64(full.checksum).c_str());
+                return 1;
+            }
+            rows.push_back(makeRow(pt, routing, base + "@t4skip",
+                                   "sharded", 4, pt_cycles,
+                                   sharded_skip, full));
+            printRow(rows.back());
         }
     }
 

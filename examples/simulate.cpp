@@ -207,8 +207,9 @@ main(int argc, char** argv)
     }
 
     std::printf("--- results ---\n");
-    std::printf("cycles run               : %lld\n",
-                static_cast<long long>(stats.cyclesRun));
+    std::printf("cycles run               : %lld (%lld skipped)\n",
+                static_cast<long long>(stats.cyclesRun),
+                static_cast<long long>(stats.cyclesSkipped));
     std::printf("measured packets         : %llu created, %llu "
                 "ejected\n",
                 static_cast<unsigned long long>(stats.measuredCreated),

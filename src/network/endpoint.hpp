@@ -127,6 +127,14 @@ class Endpoint
     /** Packets fully ejected since the last call (caller consumes). */
     std::vector<EjectedPacket> drainEjected();
 
+    /**
+     * Ejected packets waiting for drainEjected(). Drivers check this
+     * before calling drainEjected() so the per-node collect loop
+     * costs one inlined load on quiet nodes instead of a by-value
+     * vector round trip.
+     */
+    std::size_t ejectedCount() const { return ejected_.size(); }
+
     int node() const { return node_; }
 
     /** Flits waiting in the source (queued packets + current). */

@@ -1,5 +1,7 @@
 #include "network/network.hpp"
 
+#include <bit>
+
 #include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/log.hpp"
@@ -15,15 +17,15 @@ StatusBoard::init(int num_nodes)
 void
 StatusBoard::publish(int node, int port, int count)
 {
-    counts_.at(static_cast<std::size_t>(node))
-        .at(static_cast<std::size_t>(port)) = count;
+    counts_[static_cast<std::size_t>(node)]
+           [static_cast<std::size_t>(port)] = count;
 }
 
 int
 StatusBoard::idleCount(int node, int port) const
 {
-    return counts_.at(static_cast<std::size_t>(node))
-        .at(static_cast<std::size_t>(port));
+    return counts_[static_cast<std::size_t>(node)]
+                  [static_cast<std::size_t>(port)];
 }
 
 FlitChannel*
@@ -280,10 +282,14 @@ Network::phaseTransmit(const std::vector<int>& comps,
         // Publishes happen strictly after every compute-phase read of
         // the board this cycle, so readers always see last cycle's
         // values (the one-cycle status delay) without double
-        // buffering. Skipped routers' counts are unchanged, hence
-        // already current.
-        for (int port = 0; port < kNumPorts; ++port)
+        // buffering. Only ports whose count may have changed are
+        // republished — for skipped routers and clean ports the
+        // board's stored value is already current.
+        for (std::uint32_t m = r.takePublishMask(); m != 0;
+             m &= m - 1) {
+            const int port = std::countr_zero(m);
             status_.publish(node, port, r.idleVcCount(port));
+        }
     }
 }
 
@@ -578,6 +584,64 @@ Network::step(std::int64_t cycle)
         }
         break;
     }
+}
+
+bool
+Network::idle() const
+{
+    // Every pipe in the system feeds exactly one component's
+    // hasPendingWork() (router input flit pipes + credit-return
+    // pipes; endpoint ejection + credit pipes), so "no component has
+    // pending work" implies every channel is empty and every buffer
+    // drained: the network cannot change state on its own.
+    //
+    // In the activity-family modes the pending bitmap already encodes
+    // this (rescheduleAfterStep re-arms any component with pending
+    // work, and sends wake their receivers). Full mode never drains
+    // the bitmap, so it scans components directly — the scan is off
+    // the hot path (it only runs when the driver suspects idleness).
+    if (stepMode_ != StepMode::Full)
+        return active_.pendingEmpty();
+    for (const int c : fullOrder_) {
+        if (componentHasPendingWork(c))
+            return false;
+    }
+    return true;
+}
+
+void
+Network::skipTo(std::int64_t cycle)
+{
+    FP_ASSERT(idle(), "skipTo(" << cycle
+                                << ") on a non-quiescent network");
+    FP_ASSERT(!haveStepped_ || cycle > lastCycle_,
+              "skipTo(" << cycle << ") does not advance past "
+                        << lastCycle_);
+    // An idle network steps every skipped cycle as an exact no-op, so
+    // jumping is just clock bookkeeping: pretend cycle-1 was stepped
+    // so step(cycle) counts as contiguous and stays on the activity
+    // fast path (no wakeAll). Wakes raised meanwhile (e.g. an
+    // endpoint enqueue at the horizon) sit in the pending bitmap
+    // untouched.
+    lastCycle_ = cycle - 1;
+    haveStepped_ = true;
+}
+
+std::int64_t
+Network::nextLinkArrivalCycle() const
+{
+    std::int64_t earliest = FlitChannel::kNoArrival;
+    for (const auto& ch : flitChannels_) {
+        const std::int64_t c = ch->headReadyCycle();
+        if (c < earliest)
+            earliest = c;
+    }
+    for (const auto& ch : creditChannels_) {
+        const std::int64_t c = ch->headReadyCycle();
+        if (c < earliest)
+            earliest = c;
+    }
+    return earliest;
 }
 
 std::int64_t

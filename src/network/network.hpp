@@ -87,6 +87,33 @@ class Network
     /** Advance the whole network by one cycle. */
     void step(std::int64_t cycle);
 
+    /**
+     * @return true if the network is fully quiescent: no component has
+     * pending work, which (because every pipe feeds some component's
+     * pending-work check) implies no flit or credit is in flight and
+     * no buffer holds anything. Stepping an idle network any number of
+     * cycles is an exact no-op, so the driver may skipTo() an event
+     * horizon instead. Meaningful between steps, never during one.
+     */
+    bool idle() const;
+
+    /**
+     * Jump the clock over a quiescent span: record that the network
+     * has (conceptually) been stepped through every cycle strictly
+     * before @p cycle, so the next step(cycle) is treated as
+     * contiguous. Caller must ensure idle() — FP_ASSERTed here —
+     * because skipped cycles are replayed as nothing at all.
+     */
+    void skipTo(std::int64_t cycle);
+
+    /**
+     * Earliest arrival cycle over every flit and credit channel, or
+     * Pipe::kNoArrival. O(links); diagnostic/test aid for the horizon
+     * invariant — the skip fast path itself only runs when idle()
+     * proves all channels empty.
+     */
+    std::int64_t nextLinkArrivalCycle() const;
+
     StepMode stepMode() const { return stepMode_; }
 
     /** Descriptor pool backing Flit::desc for in-flight packets. */

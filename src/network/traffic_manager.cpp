@@ -17,6 +17,7 @@
 #include "obs/telemetry.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/watchdog.hpp"
+#include "sim/horizon.hpp"
 #include "sim/log.hpp"
 #include "sim/rng.hpp"
 #include "traffic/injection.hpp"
@@ -203,6 +204,7 @@ TrafficManager::run()
         warmup = ts_cfg.warmupMax;
     const auto measure = cfg_.getInt("measure_cycles");
     const auto drain_limit = cfg_.getInt("drain_cycles");
+    const bool skip_ahead = cfg_.getBool("skip_ahead");
     const double rate = cfg_.getDouble("injection_rate");
     const PacketSizeDist size_dist =
         PacketSizeDist::parse(cfg_.getStr("packet_size"));
@@ -213,12 +215,21 @@ TrafficManager::run()
     stats.offeredFlitsPerNodeCycle = rate;
 
     // --- Per-mode setup. ---
+    // Synthetic modes drive injection through an InjectionSchedule:
+    // geometric inter-arrival gaps drawn per fire event instead of a
+    // Bernoulli trial per node per cycle. Same process in
+    // distribution, O(fires) instead of O(nodes × cycles), and —
+    // crucially for the skip-ahead fast path — the schedule knows the
+    // exact next-arrival cycle, and its RNG consumption is tied to
+    // fire events so skipping idle cycles cannot shift any draw.
     std::unique_ptr<TrafficPattern> pattern;
     std::unique_ptr<TrafficPattern> background_pattern;
-    std::unique_ptr<BernoulliInjection> inj;
-    std::unique_ptr<BernoulliInjection> bg_inj;
+    std::unique_ptr<InjectionSchedule> sched;
+    std::unique_ptr<InjectionSchedule> hs_sched;
+    std::unique_ptr<InjectionSchedule> bg_sched;
     std::vector<std::pair<int, int>> hotspot_flows;
     std::set<int> hotspot_sources;
+    std::vector<int> bg_nodes;  ///< non-hotspot sources, slot order
     std::unique_ptr<TraceReader> trace;
     std::optional<TraceEvent> pending;
 
@@ -235,14 +246,22 @@ TrafficManager::run()
             ? cfg_.getDouble("background_rate")
             : 0.3;
         background_pattern = makeTrafficPattern("uniform", mesh);
-        inj = std::make_unique<BernoulliInjection>(rate,
-                                                   size_dist.mean());
-        bg_inj = std::make_unique<BernoulliInjection>(bg_rate,
-                                                      size_dist.mean());
+        for (int node = 0; node < n; ++node) {
+            if (hotspot_sources.count(node) == 0)
+                bg_nodes.push_back(node);
+        }
+        if (!hotspot_flows.empty())
+            hs_sched = std::make_unique<InjectionSchedule>(
+                static_cast<int>(hotspot_flows.size()),
+                rate / size_dist.mean(), gen);
+        if (!bg_nodes.empty())
+            bg_sched = std::make_unique<InjectionSchedule>(
+                static_cast<int>(bg_nodes.size()),
+                bg_rate / size_dist.mean(), gen);
     } else {
         pattern = makeTrafficPattern(mode, mesh);
-        inj = std::make_unique<BernoulliInjection>(rate,
-                                                   size_dist.mean());
+        sched = std::make_unique<InjectionSchedule>(
+            n, rate / size_dist.mean(), gen);
     }
 
     std::uint64_t next_packet_id = 1;
@@ -301,34 +320,40 @@ TrafficManager::run()
             if (!pending && trace_end_cycle < 0)
                 trace_end_cycle = cycle;
         } else if (is_hotspot) {
-            for (const auto& flow : hotspot_flows) {
-                if (inj->fires(gen)) {
-                    make_packet(flow.first, flow.second,
-                                size_dist.sample(gen), cycle,
+            // Per fire: draws in a fixed order (dest where applicable,
+            // size, next gap), so the RNG sequence depends only on the
+            // fire events — never on how many idle cycles elapsed.
+            if (hs_sched) {
+                for (int slot; (slot = hs_sched->popDue(cycle)) >= 0;) {
+                    const auto& flow =
+                        hotspot_flows[static_cast<std::size_t>(slot)];
+                    const int size = size_dist.sample(gen);
+                    hs_sched->scheduleNext(slot, cycle, gen);
+                    make_packet(flow.first, flow.second, size, cycle,
                                 FlowClass::Hotspot, false);
                 }
             }
-            for (int node = 0; node < n; ++node) {
-                if (hotspot_sources.count(node) > 0)
-                    continue;
-                if (bg_inj->fires(gen)) {
+            if (bg_sched) {
+                for (int slot; (slot = bg_sched->popDue(cycle)) >= 0;) {
+                    const int node =
+                        bg_nodes[static_cast<std::size_t>(slot)];
                     const int dest = background_pattern->dest(node, gen);
+                    const int size = size_dist.sample(gen);
+                    bg_sched->scheduleNext(slot, cycle, gen);
                     if (dest >= 0) {
-                        make_packet(node, dest,
-                                    size_dist.sample(gen), cycle,
+                        make_packet(node, dest, size, cycle,
                                     FlowClass::Background, measuring);
                     }
                 }
             }
         } else {
-            for (int node = 0; node < n; ++node) {
-                if (inj->fires(gen)) {
-                    const int dest = pattern->dest(node, gen);
-                    if (dest >= 0) {
-                        make_packet(node, dest,
-                                    size_dist.sample(gen), cycle,
-                                    FlowClass::Background, measuring);
-                    }
+            for (int slot; (slot = sched->popDue(cycle)) >= 0;) {
+                const int dest = pattern->dest(slot, gen);
+                const int size = size_dist.sample(gen);
+                sched->scheduleNext(slot, cycle, gen);
+                if (dest >= 0) {
+                    make_packet(slot, dest, size, cycle,
+                                FlowClass::Background, measuring);
                 }
             }
         }
@@ -373,6 +398,8 @@ TrafficManager::run()
         // Collect completions.
         const std::uint64_t collect_t0 = prof ? Profiler::nowNs() : 0;
         for (int node = 0; node < n; ++node) {
+            if (net.endpoint(node).ejectedCount() == 0)
+                continue;
             for (const EjectedPacket& p :
                  net.endpoint(node).drainEjected()) {
                 if (recorder)
@@ -456,6 +483,54 @@ TrafficManager::run()
                                          warmup + measure)
                 > kDrainStallLimit) {
             break;
+        }
+
+        // --- Event-horizon fast path (DESIGN.md §16). ---
+        // A fully quiescent network cannot change state until an
+        // external event: fold every upcoming event cycle into a
+        // horizon and jump the clock there in one step. Periodic
+        // observers are clamped so the jump lands exactly on their
+        // due cycle (a late re-arm would shift their schedule); the
+        // flight recorder and heatmap are instead jump-aware and are
+        // caught up to horizon-1 here, on the frozen pre-landing
+        // state, before the landing cycle steps. The drain-stall
+        // heuristic needs no clamp: idle + generation done implies
+        // fully drained, which already broke out above.
+        if (skip_ahead) {
+            ProfileScope skip_ps(prof, ProfPhase::Skip);
+            if (net.idle()) {
+                HorizonTracker hz(cycle + 1, hard_limit);
+                if (is_trace) {
+                    if (pending)
+                        hz.clamp(pending->cycle);
+                } else {
+                    if (sched)
+                        hz.clamp(sched->nextFireCycle());
+                    if (hs_sched)
+                        hz.clamp(hs_sched->nextFireCycle());
+                    if (bg_sched)
+                        hz.clamp(bg_sched->nextFireCycle());
+                }
+                hz.clamp(warmup);
+                hz.clamp(warmup + measure - 1);
+                hz.clamp(warmup + measure);
+                if (auditor)
+                    hz.clamp(auditor->nextDueCycle());
+                if (watchdog)
+                    hz.clamp(watchdog->nextDueCycle());
+                if (hub)
+                    hz.clamp(hub->nextSampleCycle(cycle + 1));
+                if (hz.skips()) {
+                    const std::int64_t target = hz.cycle();
+                    net.skipTo(target);
+                    stats.cyclesSkipped += target - (cycle + 1);
+                    if (recorder)
+                        recorder->tick(target - 1);
+                    if (heatmap)
+                        heatmap->tick(target - 1);
+                    cycle = target - 1;
+                }
+            }
         }
     }
     } catch (const InvariantError& e) {

@@ -103,6 +103,13 @@ struct RunStats
 
     std::int64_t cyclesRun = 0;
 
+    /**
+     * Cycles the event-horizon fast path jumped over instead of
+     * ticking (skip_ahead=true). Included in cyclesRun; results are
+     * bit-identical to cyclesSkipped == 0.
+     */
+    std::int64_t cyclesSkipped = 0;
+
     double avgLatency() const { return latency.mean(); }
 };
 

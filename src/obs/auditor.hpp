@@ -18,6 +18,7 @@
 #define FOOTPRINT_OBS_AUDITOR_HPP
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,20 @@ class InvariantAuditor
         if (params_.interval <= 0 || cycle < nextDue_)
             return;
         auditNow(cycle);
+    }
+
+    /**
+     * Next cycle at which tick() will audit (max() when auditing is
+     * off). The skip-ahead fast path clamps its horizon here so a
+     * jump never overshoots a due audit — re-arming late would shift
+     * every subsequent audit cycle.
+     */
+    std::int64_t
+    nextDueCycle() const
+    {
+        return params_.interval <= 0
+            ? std::numeric_limits<std::int64_t>::max()
+            : nextDue_;
     }
 
     /**

@@ -89,16 +89,41 @@ class HeatmapCollector
     /**
      * Per-cycle hook; call after Network::step. Samples gauges on the
      * sample interval and closes the window on its boundary.
+     *
+     * Jump-aware: @p cycle may be far past the previous tick (the
+     * skip-ahead fast path jumps quiescent spans). The elapsed span is
+     * replayed event by event — every sample boundary and window close
+     * in order, a sample before a coincident close, exactly as ticking
+     * each cycle would have — against the network's current (frozen)
+     * state. The driver catches collectors up to horizon-1 *before*
+     * stepping the landing cycle, so replayed samples read the same
+     * quiescent state the skipped cycles held.
      */
     void
     tick(std::int64_t cycle)
     {
         if (!cfg_.enabled)
             return;
-        if ((cycle - windowStart_) % cfg_.sampleInterval == 0)
-            sampleGauges();
-        if (cycle + 1 - windowStart_ >= cfg_.window)
-            closeWindow(cycle + 1);
+        std::int64_t x = lastTick_ + 1;
+        lastTick_ = cycle;
+        while (x <= cycle) {
+            const std::int64_t close_at =
+                windowStart_ + cfg_.window - 1;
+            const std::int64_t rem =
+                (x - windowStart_) % cfg_.sampleInterval;
+            const std::int64_t next_sample =
+                rem == 0 ? x : x + (cfg_.sampleInterval - rem);
+            const std::int64_t next =
+                next_sample < close_at ? next_sample : close_at;
+            if (next > cycle)
+                break;
+            x = next;
+            if (x == next_sample)
+                sampleGauges();
+            if (x == close_at)
+                closeWindow(x + 1);
+            ++x;
+        }
     }
 
     /** Close any partial window at end of run. */
@@ -129,6 +154,7 @@ class HeatmapCollector
 
     std::int64_t windowStart_ = 0;
     std::int64_t samples_ = 0;
+    std::int64_t lastTick_ = -1;  ///< last cycle tick() replayed up to
 
     // Gauge accumulators (sums over samples, divided at window close).
     std::vector<double> vcOccSum_;

@@ -25,6 +25,8 @@ profPhaseName(ProfPhase p)
         return "epilogue";
     case ProfPhase::Collect:
         return "collect";
+    case ProfPhase::Skip:
+        return "skip";
     case ProfPhase::Count:
         break;
     }

@@ -43,6 +43,7 @@ enum class ProfPhase : int {
     Transmit,     ///< output FIFOs into links + status publish
     Epilogue,     ///< reschedule, descriptor flush/refill, scratch merge
     Collect,      ///< ejected-packet collection (TrafficManager)
+    Skip,         ///< horizon computation + clock jumps (skip-ahead)
     Count,
 };
 

@@ -16,6 +16,7 @@
 #define FOOTPRINT_OBS_TELEMETRY_HPP
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -119,6 +120,20 @@ class TelemetryHub
             return;
         if (cycle % cfg_.sampleInterval == 0)
             sampler_.sample(cycle, phase_);
+    }
+
+    /**
+     * First cycle >= @p from on the sampling grid (max() when
+     * sampling is off). Skip-ahead horizon clamp: a jump lands on the
+     * next sample cycle instead of silently passing it.
+     */
+    std::int64_t
+    nextSampleCycle(std::int64_t from) const
+    {
+        if (!sampling_ || cfg_.sampleInterval <= 0)
+            return std::numeric_limits<std::int64_t>::max();
+        const std::int64_t rem = from % cfg_.sampleInterval;
+        return rem == 0 ? from : from + (cfg_.sampleInterval - rem);
     }
 
     /** Final sample (if due), tracer + sink flush, trace close. */

@@ -215,12 +215,27 @@ class FlightRecorder
      */
     void onCountersReset();
 
-    /** Per-cycle hook; call after Network::step for cycle @p cycle. */
+    /**
+     * Per-cycle hook; call after Network::step for cycle @p cycle.
+     * Jump-aware: @p cycle may be arbitrarily far past the last tick
+     * (skip-ahead over a quiescent span). Every elapsed window
+     * boundary closes in order at its exact boundary cycle — skipped
+     * spans contribute empty windows (zero offered/accepted, counter
+     * deltas of zero, gauges of the frozen state), byte-identical to
+     * ticking through the span cycle by cycle.
+     */
     void
     tick(std::int64_t cycle)
     {
-        if (cycle + 1 - windowStart_ >= cfg_.interval)
-            closeWindow(cycle + 1);
+        while (cycle + 1 - windowStart_ >= cfg_.interval)
+            closeWindow(windowStart_ + cfg_.interval);
+    }
+
+    /** First cycle at which tick() would close a window. */
+    std::int64_t
+    nextWindowBoundary() const
+    {
+        return windowStart_ + cfg_.interval - 1;
     }
 
     /** Close any partial trailing window and flush the stream. */

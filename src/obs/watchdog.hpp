@@ -25,6 +25,7 @@
 #define FOOTPRINT_OBS_WATCHDOG_HPP
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -142,6 +143,18 @@ class Watchdog
         if (params_.interval <= 0 || cycle < nextDue_)
             return;
         check(cycle);
+    }
+
+    /**
+     * Next cycle at which tick() will run a check (max() when the
+     * watchdog is off); skip-ahead horizon clamp, as for the auditor.
+     */
+    std::int64_t
+    nextDueCycle() const
+    {
+        return params_.interval <= 0
+            ? std::numeric_limits<std::int64_t>::max()
+            : nextDue_;
     }
 
     /**

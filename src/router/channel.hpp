@@ -13,6 +13,7 @@
 #define FOOTPRINT_ROUTER_CHANNEL_HPP
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 
 #include "router/flit.hpp"
@@ -24,9 +25,15 @@ namespace footprint {
 /**
  * A fixed-latency pipe carrying one item per cycle.
  *
- * In-flight entries live in a ring buffer sized from the latency (a
- * pipe holds at most latency+1 entries when polled every cycle). The
- * buffer is growable so unit tests may send without receiving.
+ * In-flight entries live in a pair of parallel ring buffers sized
+ * from the latency (a pipe holds at most latency+1 entries when
+ * polled every cycle); the buffers are growable so unit tests may
+ * send without receiving. Arrival timestamps and payloads are stored
+ * structure-of-arrays: the per-cycle receive poll usually fails (the
+ * head entry is still in flight), and the SoA split means a failed
+ * poll touches only the contiguous 8-byte timestamp lane instead of
+ * dragging a full Flit (several cache lines across a router's five
+ * input pipes) through the cache.
  *
  * @tparam T payload type (Flit or Credit).
  */
@@ -34,10 +41,16 @@ template <typename T>
 class Pipe
 {
   public:
+    /** headReadyCycle() when nothing is in flight. */
+    static constexpr std::int64_t kNoArrival =
+        std::numeric_limits<std::int64_t>::max();
+
     explicit Pipe(int latency = 1)
         : latency_(latency),
-          inFlight_(static_cast<std::size_t>(latency) + 1,
-                    /*growable=*/true)
+          ready_(static_cast<std::size_t>(latency) + 1,
+                 /*growable=*/true),
+          payload_(static_cast<std::size_t>(latency) + 1,
+                   /*growable=*/true)
     {}
 
     int latency() const { return latency_; }
@@ -59,7 +72,8 @@ class Pipe
     void
     send(const T& item, std::int64_t cycle)
     {
-        inFlight_.push_back(Entry{cycle + latency_, item});
+        ready_.push_back(cycle + latency_);
+        payload_.push_back(item);
         ++sentCount_;
         if (wakeSet_)
             wakeSet_->wake(wakeComp_);
@@ -72,15 +86,27 @@ class Pipe
     std::optional<T>
     receive(std::int64_t cycle)
     {
-        if (inFlight_.empty() || inFlight_.front().readyCycle > cycle)
+        if (ready_.empty() || ready_.front() > cycle)
             return std::nullopt;
-        T item = inFlight_.front().payload;
-        inFlight_.pop_front();
+        T item = payload_.front();
+        ready_.pop_front();
+        payload_.pop_front();
         return item;
     }
 
-    bool empty() const { return inFlight_.empty(); }
-    std::size_t inFlightCount() const { return inFlight_.size(); }
+    /**
+     * Arrival cycle of the oldest in-flight item, or kNoArrival. The
+     * event-horizon fast path reads this to bound how far the clock
+     * may jump while the network is quiescent.
+     */
+    std::int64_t
+    headReadyCycle() const
+    {
+        return ready_.empty() ? kNoArrival : ready_.front();
+    }
+
+    bool empty() const { return ready_.empty(); }
+    std::size_t inFlightCount() const { return ready_.size(); }
 
     /** Items ever sent (telemetry link-utilisation counter). */
     std::uint64_t sentCount() const { return sentCount_; }
@@ -93,19 +119,14 @@ class Pipe
     void
     forEachInFlight(Fn&& fn) const
     {
-        for (const Entry& e : inFlight_)
-            fn(e.payload);
+        for (const T& p : payload_)
+            fn(p);
     }
 
   private:
-    struct Entry
-    {
-        std::int64_t readyCycle;
-        T payload;
-    };
-
     int latency_;
-    RingBuffer<Entry> inFlight_;
+    RingBuffer<std::int64_t> ready_;  ///< arrival cycles, SoA lane
+    RingBuffer<T> payload_;           ///< payloads, parallel to ready_
     std::uint64_t sentCount_ = 0;
     ActiveSet* wakeSet_ = nullptr;
     int wakeComp_ = -1;

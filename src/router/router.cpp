@@ -43,6 +43,7 @@ Router::Router(const Mesh& mesh, int node, const RouterParams& params,
     destConvergence_.assign(static_cast<std::size_t>(mesh.numNodes()),
                             0);
     statusIdleDirty_.fill(1);
+    publishDirty_ = (std::uint32_t{1} << kNumPorts) - 1;
 }
 
 void
@@ -96,6 +97,7 @@ Router::receivePhase(std::int64_t cycle)
                       "credit arrived with bad VC " << c->vc);
             out.vcs[static_cast<std::size_t>(c->vc)].returnCredit();
             statusIdleDirty_[static_cast<std::size_t>(op)] = 1;
+            publishDirty_ |= std::uint32_t{1} << op;
         }
     }
 }
@@ -266,6 +268,7 @@ Router::runVcAllocation()
                 .vcs[static_cast<std::size_t>(g.outVc)]
                 .allocate(ivc.front().dest);
             statusIdleDirty_[static_cast<std::size_t>(g.outPort)] = 1;
+            publishDirty_ |= std::uint32_t{1} << g.outPort;
             ++counters_.vcAllocSuccess;
             ++counters_.vaGrantsByPriority[static_cast<std::size_t>(
                 g.priority)];
@@ -378,6 +381,7 @@ Router::moveFlit(int in_port, int in_vc)
     OutputPort& out = outputs_[static_cast<std::size_t>(ivc.outPort)];
     OutVcState& ovc = out.vcs[static_cast<std::size_t>(ivc.outVc)];
     statusIdleDirty_[static_cast<std::size_t>(ivc.outPort)] = 1;
+    publishDirty_ |= std::uint32_t{1} << ivc.outPort;
     f.vc = static_cast<std::int16_t>(ivc.outVc);
     ++f.hops;
     ovc.consumeCredit();
@@ -529,6 +533,14 @@ Router::remoteIdleCount(int through_port, int port) const
     if (nbr < 0 || !status_)
         return -1;
     return status_->idleCount(nbr, port);
+}
+
+std::uint32_t
+Router::takePublishMask()
+{
+    const std::uint32_t m = publishDirty_;
+    publishDirty_ = 0;
+    return m;
 }
 
 int
@@ -688,6 +700,7 @@ Router::debugLeakCredit(int port, int vc)
         .vcs[static_cast<std::size_t>(vc)]
         .consumeCredit();
     statusIdleDirty_[static_cast<std::size_t>(port)] = 1;
+    publishDirty_ |= std::uint32_t{1} << port;
 }
 
 } // namespace footprint

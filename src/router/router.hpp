@@ -142,6 +142,14 @@ class Router : public RouterView
     /** Idle-VC count of an output port (published to the status net). */
     int idleVcCount(int port) const;
 
+    /**
+     * Bitmask of output ports whose idle-VC count may have changed
+     * since the last call; clears the mask. The transmit phase
+     * publishes only these ports to the status board — an unchanged
+     * count is already current there (the board is never reset).
+     */
+    std::uint32_t takePublishMask();
+
     /** Owner destination of output VC (port, vc); -1 when idle. */
     int outVcOwner(int port, int vc) const;
 
@@ -303,6 +311,8 @@ class Router : public RouterView
     // port (credit return, allocation, credit consumption, tail).
     mutable std::array<int, kNumPorts> statusIdleCount_{};
     mutable std::array<std::uint8_t, kNumPorts> statusIdleDirty_{};
+    /** Ports not yet re-published since their count last changed. */
+    std::uint32_t publishDirty_ = 0;
 
     Counters counters_;
     PacketTracer* tracer_ = nullptr;

@@ -101,6 +101,21 @@ class ActiveSet
     const std::vector<int>& active() const { return active_; }
 
     /**
+     * @return true if no component is scheduled for the next cycle.
+     * Relaxed loads are sufficient: callers only consult this from
+     * the serial section between steps, after any shard workers have
+     * joined.
+     */
+    bool
+    pendingEmpty() const
+    {
+        for (std::size_t i = 0; i < nwords_; ++i)
+            if (words_[i].load(std::memory_order_relaxed) != 0)
+                return false;
+        return true;
+    }
+
+    /**
      * Drain pending components with begin <= id < end, appending them
      * to @p out ascending and clearing their bits. Safe to call
      * concurrently for disjoint ranges; wakes raised concurrently for

@@ -30,7 +30,7 @@ constexpr std::array kKnownKeys = {
     "trace_file", "trace_length", "app", "app2",
     // Simulation phases / execution.
     "warmup_cycles", "measure_cycles", "drain_cycles", "seed",
-    "step_mode", "threads", "shards",
+    "step_mode", "threads", "shards", "skip_ahead",
     // Telemetry.
     "telemetry_out", "telemetry_format", "sample_interval",
     "telemetry_per_router", "trace_out", "trace_packets",
@@ -319,6 +319,10 @@ defaultConfig()
     cfg.set("step_mode", "activity");
     cfg.setInt("threads", 1);
     cfg.setInt("shards", 0);
+    // Event-horizon fast path: jump the clock over quiescent spans
+    // (bit-identical results; skip_ahead=false forces per-cycle
+    // ticking, mainly for equivalence tests and benchmarks).
+    cfg.setBool("skip_ahead", true);
     // Telemetry / observability (see DESIGN.md "Observability").
     cfg.set("telemetry_out", "");       // empty = no time series
     cfg.set("telemetry_format", "csv"); // or "jsonl"

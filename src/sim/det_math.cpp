@@ -1,0 +1,58 @@
+#include "sim/det_math.hpp"
+
+#include <cmath>
+
+namespace footprint {
+
+double
+detLog(double x)
+{
+    // x = m * 2^e with m in [0.5, 1); recentre m into
+    // [sqrt(1/2), sqrt(2)) so z = (m-1)/(m+1) stays within ~0.1716
+    // and the atanh series converges past double precision in 11
+    // terms. frexp and every arithmetic op below are exactly
+    // specified by IEEE-754, so the result is platform-independent.
+    int e = 0;
+    double m = std::frexp(x, &e);
+    if (m < 0.70710678118654752) {
+        m *= 2.0;
+        e -= 1;
+    }
+    const double z = (m - 1.0) / (m + 1.0);
+    const double z2 = z * z;
+    // ln m = 2z * (1 + z^2/3 + z^4/5 + ...), Horner from the tail so
+    // the evaluation order is fixed.
+    double s = 1.0 / 23.0;
+    s = s * z2 + 1.0 / 21.0;
+    s = s * z2 + 1.0 / 19.0;
+    s = s * z2 + 1.0 / 17.0;
+    s = s * z2 + 1.0 / 15.0;
+    s = s * z2 + 1.0 / 13.0;
+    s = s * z2 + 1.0 / 11.0;
+    s = s * z2 + 1.0 / 9.0;
+    s = s * z2 + 1.0 / 7.0;
+    s = s * z2 + 1.0 / 5.0;
+    s = s * z2 + 1.0 / 3.0;
+    s = s * z2 + 1.0;
+    const double ln_m = (2.0 * z) * s;
+    constexpr double kLn2 = 0.69314718055994530942;
+    return static_cast<double>(e) * kLn2 + ln_m;
+}
+
+std::int64_t
+geometricGap(double u, double log_one_minus_p)
+{
+    // Inverse-CDF sampling: gap = floor(ln(1-u) / ln(1-p)) + 1 has
+    // P(gap = k) = p (1-p)^(k-1) for k >= 1. u in [0, 1) makes
+    // 1-u in (0, 1], so detLog's domain is respected and the ratio
+    // is >= 0 (both logs are <= 0).
+    const double x = 1.0 - u;
+    const double r = detLog(x) / log_one_minus_p;
+    // Gaps beyond ~1e15 cycles can never land inside a run; report
+    // "never" instead of overflowing the packed schedule keys.
+    if (!(r < 1.0e15))
+        return -1;
+    return 1 + static_cast<std::int64_t>(r);
+}
+
+} // namespace footprint

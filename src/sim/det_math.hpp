@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Deterministic transcendental helpers for event scheduling.
+ *
+ * The injection schedule converts uniform RNG draws into geometric
+ * inter-arrival gaps with a logarithm. libm's log() is correctly
+ * rounded on glibc but not specified bit-for-bit across C libraries,
+ * and pinned bench checksums must be machine-independent, so the gap
+ * math uses detLog(): a fixed-order IEEE-754 evaluation (frexp +
+ * atanh series) whose every operation is exactly specified. It is
+ * accurate to a few ulp — irrelevant for sampling — and bit-identical
+ * on any platform that evaluates double arithmetic in double
+ * precision without FMA contraction (det_math.cpp is compiled with
+ * contraction off).
+ */
+
+#ifndef FOOTPRINT_SIM_DET_MATH_HPP
+#define FOOTPRINT_SIM_DET_MATH_HPP
+
+#include <cstdint>
+
+namespace footprint {
+
+/**
+ * Natural logarithm of @p x for x in (0, 1], deterministic across
+ * platforms and C libraries. Returns 0.0 for x == 1.0 and a negative
+ * value otherwise; callers must not pass x <= 0 or x > 1.
+ */
+double detLog(double x);
+
+/**
+ * One geometric inter-arrival gap (support {1, 2, ...}) for a
+ * per-cycle firing probability p, from a uniform draw @p u in [0, 1).
+ * @p log_one_minus_p must be detLog(1.0 - p), precomputed by the
+ * caller. Returns -1 when the gap is astronomically large (treat as
+ * "never fires").
+ */
+std::int64_t geometricGap(double u, double log_one_minus_p);
+
+} // namespace footprint
+
+#endif // FOOTPRINT_SIM_DET_MATH_HPP

@@ -1,7 +1,10 @@
 #include "traffic/injection.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <functional>
 
+#include "sim/det_math.hpp"
 #include "sim/log.hpp"
 #include "sim/rng.hpp"
 
@@ -71,6 +74,68 @@ bool
 BernoulliInjection::fires(Rng& rng) const
 {
     return packetProb_ > 0.0 && rng.nextBool(packetProb_);
+}
+
+InjectionSchedule::InjectionSchedule(int slots, double packet_prob,
+                                     Rng& rng)
+    : slots_(slots), prob_(packet_prob), logOneMinusP_(0.0)
+{
+    if (slots < 1)
+        fatal("injection schedule needs at least one slot");
+    if (prob_ < 0.0)
+        fatal("injection rate must be non-negative");
+    if (prob_ > 1.0)
+        prob_ = 1.0;
+    if (prob_ > 0.0 && prob_ < 1.0)
+        logOneMinusP_ = detLog(1.0 - prob_);
+    heap_.reserve(static_cast<std::size_t>(slots));
+    // First trial of every slot is at cycle 0, i.e. the gap is
+    // measured from a virtual fire at cycle -1.
+    for (int slot = 0; slot < slots_; ++slot)
+        scheduleNext(slot, -1, rng);
+}
+
+int
+InjectionSchedule::popDue(std::int64_t cycle)
+{
+    if (heap_.empty())
+        return -1;
+    const std::int64_t key = heap_.front();
+    const std::int64_t m = static_cast<std::int64_t>(slots_);
+    if (key / m != cycle)
+        return -1;
+    std::pop_heap(heap_.begin(), heap_.end(),
+                  std::greater<std::int64_t>());
+    heap_.pop_back();
+    return static_cast<int>(key % m);
+}
+
+void
+InjectionSchedule::scheduleNext(int slot, std::int64_t fired_cycle,
+                                Rng& rng)
+{
+    if (prob_ <= 0.0)
+        return;
+    std::int64_t gap = 1;
+    if (prob_ < 1.0) {
+        gap = geometricGap(rng.nextDouble(), logOneMinusP_);
+        if (gap < 0)
+            return; // beyond any reachable cycle: never fires again
+    }
+    // Guard the packed key cycle*slots+slot against overflow; a fire
+    // this far out is unreachable anyway.
+    const std::int64_t fire = fired_cycle + gap;
+    if (fire > (std::int64_t{1} << 48))
+        return;
+    push(fire * static_cast<std::int64_t>(slots_) + slot);
+}
+
+void
+InjectionSchedule::push(std::int64_t key)
+{
+    heap_.push_back(key);
+    std::push_heap(heap_.begin(), heap_.end(),
+                   std::greater<std::int64_t>());
 }
 
 } // namespace footprint

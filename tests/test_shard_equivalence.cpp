@@ -22,22 +22,27 @@
 #include "obs/profiler.hpp"
 #include "routing/routing.hpp"
 #include "sim/config.hpp"
+#include "sim/horizon.hpp"
 #include "sim/rng.hpp"
+#include "traffic/injection.hpp"
 
 namespace footprint {
 namespace {
 
 /**
- * Drive an 8x8 mesh with a deterministic Bernoulli workload and fold
- * everything observable into a flat signature (the same workload and
- * signature as test_step_equivalence, so all modes are cross-checked
- * against one reference behavior).
+ * Drive an 8x8 mesh with a deterministic schedule-driven workload and
+ * fold everything observable into a flat signature (the same workload
+ * and signature as test_step_equivalence, so all modes are
+ * cross-checked against one reference behavior). With @p skip_ahead
+ * the driver jumps idle spans via the event-horizon fast path
+ * (DESIGN.md §16); the signature must not change.
  */
 std::vector<std::uint64_t>
 runSignature(const std::string& routing, double load,
              const char* step_mode, std::int64_t cycles,
              int threads = 1, int shards = 0,
-             Profiler* prof = nullptr, bool heatmap = false)
+             Profiler* prof = nullptr, bool heatmap = false,
+             bool skip_ahead = false)
 {
     SimConfig cfg = defaultConfig();
     cfg.set("routing", routing);
@@ -59,23 +64,31 @@ runSignature(const std::string& routing, double load,
         hm = std::make_unique<HeatmapCollector>(net, hm_cfg);
 
     Rng gen(99);
+    std::unique_ptr<InjectionSchedule> sched;
+    if (load > 0.0)
+        sched = std::make_unique<InjectionSchedule>(nodes, load, gen);
     std::uint64_t id = 0;
     std::uint64_t drained = 0;
     std::uint64_t hops_sum = 0;
     std::uint64_t latency_sum = 0;
     for (std::int64_t cycle = 0; cycle < cycles; ++cycle) {
-        for (int n = 0; n < nodes; ++n) {
-            if (gen.nextBool(load)) {
+        if (sched) {
+            for (int slot; (slot = sched->popDue(cycle)) >= 0;) {
+                const int dest =
+                    static_cast<int>(gen.nextBounded(nodes));
+                const int size =
+                    1 + static_cast<int>(gen.nextBounded(3));
+                sched->scheduleNext(slot, cycle, gen);
+                if (dest == slot)
+                    continue;
                 Packet p;
                 p.id = ++id;
-                p.src = n;
-                p.dest = static_cast<int>(gen.nextBounded(nodes));
-                if (p.dest == n)
-                    continue;
-                p.size = 1 + static_cast<int>(gen.nextBounded(3));
+                p.src = slot;
+                p.dest = dest;
+                p.size = size;
                 p.createTime = cycle;
                 p.measured = true;
-                net.endpoint(n).enqueue(p);
+                net.endpoint(slot).enqueue(p);
             }
         }
         net.step(cycle);
@@ -88,6 +101,17 @@ runSignature(const std::string& routing, double load,
                 hops_sum += static_cast<std::uint64_t>(p.hops);
                 latency_sum +=
                     static_cast<std::uint64_t>(p.latency());
+            }
+        }
+        if (skip_ahead && net.idle()) {
+            HorizonTracker hz(cycle + 1, cycles);
+            if (sched)
+                hz.clamp(sched->nextFireCycle());
+            if (hz.skips()) {
+                net.skipTo(hz.cycle());
+                if (hm)
+                    hm->tick(hz.cycle() - 1);
+                cycle = hz.cycle() - 1;
             }
         }
     }
@@ -133,6 +157,23 @@ TEST_P(ShardEquivalence, FourThreadsMatchFullAtMediumLoad)
     const auto sharded =
         runSignature(GetParam(), 0.15, "sharded", 300, 4);
     EXPECT_EQ(full, sharded);
+}
+
+TEST_P(ShardEquivalence, SkipAheadMatchesPerCycleAcrossModes)
+{
+    // Load low enough that the network drains to quiescence between
+    // arrival bursts: the skip-ahead runs jump those idle spans while
+    // the reference ticks through them, and every observable total
+    // must still agree bit for bit — serially and across shard seams.
+    const auto full = runSignature(GetParam(), 0.01, "full", 600);
+    const auto act_skip = runSignature(GetParam(), 0.01, "activity",
+                                       600, 1, 0, nullptr, false,
+                                       true);
+    const auto sharded_skip = runSignature(GetParam(), 0.01, "sharded",
+                                           600, 4, 0, nullptr, false,
+                                           true);
+    EXPECT_EQ(full, act_skip);
+    EXPECT_EQ(full, sharded_skip);
 }
 
 TEST_P(ShardEquivalence, ThreadCountsAgreeNearSaturation)
