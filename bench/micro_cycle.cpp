@@ -48,6 +48,7 @@
  * that profiling cannot perturb simulation results.
  */
 
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cstdio>
@@ -56,6 +57,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -67,6 +69,64 @@
 #include "sim/log.hpp"
 #include "sim/rng.hpp"
 #include "traffic/injection.hpp"
+
+// --- Hot-path heap-allocation counter (DESIGN.md §17). ---
+// The bench replaces global operator new/delete so it can count every
+// heap allocation made while the armed flag is set — i.e. during the
+// steady-state half of a measured stepping loop. The zero-allocation
+// invariant for saturated serial rows is asserted below (nonzero exit
+// on violation) and allocs_per_cycle is reported for every row.
+
+namespace {
+std::atomic<bool> g_countAllocs{false};
+std::atomic<std::uint64_t> g_heapAllocs{0};
+
+void*
+countedAlloc(std::size_t n)
+{
+    if (g_countAllocs.load(std::memory_order_relaxed))
+        g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(n != 0 ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+} // namespace
+
+void*
+operator new(std::size_t n)
+{
+    return countedAlloc(n);
+}
+
+void*
+operator new[](std::size_t n)
+{
+    return countedAlloc(n);
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 namespace footprint {
 namespace {
@@ -81,13 +141,20 @@ struct OperatingPoint
     double cycleScale;
     /** Also run step_mode=sharded at each kThreadCounts entry. */
     bool threadAxis;
+    /**
+     * Past saturation: the serial activity rows (plain and @skip)
+     * must perform zero heap allocations per steady-state cycle.
+     * Sharded rows are reported but not asserted — the thread pool's
+     * task dispatch may allocate outside the simulator proper.
+     */
+    bool saturated;
 };
 
 constexpr OperatingPoint kPoints[] = {
-    {"idle", 8, 8, 0.0, 1.0, false},
-    {"low", 8, 8, 0.10, 1.0, false},
-    {"sat", 8, 8, 0.45, 1.0, false},
-    {"sat16", 16, 16, 0.25, 0.4, true},
+    {"idle", 8, 8, 0.0, 1.0, false, false},
+    {"low", 8, 8, 0.10, 1.0, false, false},
+    {"sat", 8, 8, 0.45, 1.0, false, true},
+    {"sat16", 16, 16, 0.25, 0.4, true, true},
 };
 
 constexpr const char* kRoutings[] = {"dor", "oddeven", "dbar",
@@ -102,6 +169,8 @@ struct RunOutcome
 {
     std::uint64_t checksum = 0;
     double wallSeconds = 0.0;
+    std::uint64_t steadyAllocs = 0;   ///< heap allocs in the window
+    std::int64_t steadyCycles = 0;    ///< cycles in the window
 };
 
 class Fnv1a
@@ -164,8 +233,40 @@ runOne(const std::string& routing, const OperatingPoint& pt,
     std::uint64_t hops_sum = 0;
     std::uint64_t create_sum = 0;
 
+    // Warm every capacity the steady state needs so the allocation
+    // counter below measures the simulator, not first-touch growth: a
+    // saturated source queue backlog only ever grows, so pre-size it
+    // for the worst case (one packet per cycle per endpoint), and
+    // collect ejections through a reused scratch vector instead of a
+    // by-value drain.
+    for (int n = 0; n < nodes; ++n) {
+        net.endpoint(n).reserveSourceQueue(
+            static_cast<std::size_t>(cycles) + 1);
+    }
+    // A source starts at most one packet per cycle, so this bounds
+    // every descriptor-pool high-water mark the run can reach.
+    net.packetPool().reserveSlotCapacity(
+        static_cast<std::size_t>(cycles) + 2);
+    std::vector<EjectedPacket> eject_scratch;
+    eject_scratch.reserve(64);
+
+    // Allocation-count window: the second half of the run, past
+    // warmup. Armed by comparison (not equality) because skip-ahead
+    // may jump the clock over the boundary cycle.
+    const std::int64_t steady_start = cycles / 2;
+    bool counting = false;
+    std::int64_t count_from = 0;
+    std::uint64_t allocs_at_arm = 0;
+
     const auto t0 = std::chrono::steady_clock::now();
     for (std::int64_t cycle = 0; cycle < cycles; ++cycle) {
+        if (!counting && cycle >= steady_start) {
+            counting = true;
+            count_from = cycle;
+            allocs_at_arm =
+                g_heapAllocs.load(std::memory_order_relaxed);
+            g_countAllocs.store(true, std::memory_order_relaxed);
+        }
         if (sched) {
             for (int slot; (slot = sched->popDue(cycle)) >= 0;) {
                 const int dest = static_cast<int>(gen.nextBounded(
@@ -186,8 +287,9 @@ runOne(const std::string& routing, const OperatingPoint& pt,
         for (int n = 0; n < nodes; ++n) {
             if (net.endpoint(n).ejectedCount() == 0)
                 continue;
-            for (const EjectedPacket& p :
-                 net.endpoint(n).drainEjected()) {
+            eject_scratch.clear();
+            net.endpoint(n).drainEjectedInto(eject_scratch);
+            for (const EjectedPacket& p : eject_scratch) {
                 ++drained;
                 hops_sum += static_cast<std::uint64_t>(p.hops);
                 create_sum +=
@@ -205,6 +307,13 @@ runOne(const std::string& routing, const OperatingPoint& pt,
         }
     }
     const auto t1 = std::chrono::steady_clock::now();
+    std::uint64_t steady_allocs = 0;
+    if (counting) {
+        g_countAllocs.store(false, std::memory_order_relaxed);
+        steady_allocs =
+            g_heapAllocs.load(std::memory_order_relaxed)
+            - allocs_at_arm;
+    }
     if (prof)
         prof->endRun(cycles);
 
@@ -229,6 +338,8 @@ runOne(const std::string& routing, const OperatingPoint& pt,
     out.checksum = sum.value();
     out.wallSeconds =
         std::chrono::duration<double>(t1 - t0).count();
+    out.steadyAllocs = steady_allocs;
+    out.steadyCycles = counting ? cycles - count_from : 0;
     return out;
 }
 
@@ -243,6 +354,7 @@ struct ResultRow
     double wallSeconds = 0.0;       ///< measured mode
     double cyclesPerSec = 0.0;      ///< measured mode
     double fullCyclesPerSec = 0.0;  ///< full (reference) mode
+    double allocsPerCycle = 0.0;    ///< steady-state heap allocs
     std::uint64_t checksum = 0;
 };
 
@@ -279,14 +391,15 @@ writeJson(std::ostream& os, const std::vector<ResultRow>& rows,
             "\"threads\":%d,\"load\":%.2f,"
             "\"cycles\":%lld,\"wall_seconds\":%.6f,"
             "\"cycles_per_sec\":%.1f,\"full_cycles_per_sec\":%.1f,"
-            "\"speedup\":%.3f,\"checksum\":\"%s\"}",
+            "\"speedup\":%.3f,\"allocs_per_cycle\":%.6f,"
+            "\"checksum\":\"%s\"}",
             r.name.c_str(), r.routing.c_str(), r.mode.c_str(),
             r.threads, r.load, static_cast<long long>(r.cycles),
             r.wallSeconds, r.cyclesPerSec, r.fullCyclesPerSec,
             r.fullCyclesPerSec > 0.0
                 ? r.cyclesPerSec / r.fullCyclesPerSec
                 : 0.0,
-            hex64(r.checksum).c_str());
+            r.allocsPerCycle, hex64(r.checksum).c_str());
         os << buf;
     }
     os << "]}\n";
@@ -312,8 +425,32 @@ makeRow(const OperatingPoint& pt, const char* routing,
     row.fullCyclesPerSec = full.wallSeconds > 0.0
         ? static_cast<double>(cycles) / full.wallSeconds
         : 0.0;
+    row.allocsPerCycle = run.steadyCycles > 0
+        ? static_cast<double>(run.steadyAllocs)
+            / static_cast<double>(run.steadyCycles)
+        : 0.0;
     row.checksum = run.checksum;
     return row;
+}
+
+/**
+ * Enforce the zero-allocation invariant: a saturated serial row must
+ * not heap-allocate during its steady-state window.
+ */
+bool
+checkZeroAllocs(const OperatingPoint& pt, const char* routing,
+                const char* variant, const RunOutcome& run)
+{
+    if (!pt.saturated || run.steadyAllocs == 0)
+        return true;
+    std::fprintf(stderr,
+                 "FAIL: %s/%s%s: %llu heap allocations in the "
+                 "steady-state window (%lld cycles) — the saturated "
+                 "hot path must be allocation-free\n",
+                 pt.name, routing, variant,
+                 static_cast<unsigned long long>(run.steadyAllocs),
+                 static_cast<long long>(run.steadyCycles));
+    return false;
 }
 
 void
@@ -479,6 +616,8 @@ run(int argc, char** argv)
                     hex64(full.checksum).c_str());
                 return 1;
             }
+            if (!checkZeroAllocs(pt, routing, "", act))
+                return 1;
             const std::string base =
                 std::string(pt.name) + "/" + routing;
             rows.push_back(makeRow(pt, routing, base, "activity", 1,
@@ -495,6 +634,8 @@ run(int argc, char** argv)
                     hex64(full.checksum).c_str());
                 return 1;
             }
+            if (!checkZeroAllocs(pt, routing, "@skip", skip))
+                return 1;
             rows.push_back(makeRow(pt, routing, base + "@skip",
                                    "activity", 1, pt_cycles, skip,
                                    full));

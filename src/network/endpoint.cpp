@@ -1,5 +1,7 @@
 #include "network/endpoint.hpp"
 
+#include <bit>
+
 #include "sim/active_set.hpp"
 #include "obs/packet_tracer.hpp"
 #include "sim/log.hpp"
@@ -13,6 +15,7 @@ Endpoint::Endpoint(int node, const EndpointParams& params,
       pool_(pool)
 {
     FP_ASSERT(pool_ != nullptr, "endpoint needs a packet pool");
+    sourceQueue_.reset(16, /*growable=*/true);
     injectVcs_.assign(static_cast<std::size_t>(params.numVcs),
                       OutVcState(params.vcBufSize));
     sinkVcs_.resize(static_cast<std::size_t>(params.numVcs));
@@ -62,6 +65,7 @@ Endpoint::receivePhase(std::int64_t cycle)
             FP_ASSERT(static_cast<int>(buf.size()) < params_.vcBufSize,
                       "sink VC buffer overflow");
             buf.push_back(*f);
+            sinkOccMask_ |= VcMask{1} << f->vc;
             ++sinkFlits_;
         }
     }
@@ -122,20 +126,23 @@ Endpoint::computePhase(std::int64_t cycle)
     // --- Sink: drain up to ejectionRate flits per cycle. ---
     const int num_vcs = params_.numVcs;
     for (int e = 0; e < params_.ejectionRate; ++e) {
-        int picked = -1;
-        for (int i = 0; i < num_vcs; ++i) {
-            const int vc = (drainHint_ + i) % num_vcs;
-            if (!sinkVcs_[static_cast<std::size_t>(vc)].empty()) {
-                picked = vc;
-                break;
-            }
-        }
-        if (picked < 0)
+        if (sinkOccMask_ == 0)
             break;
-        drainHint_ = (picked + 1) % num_vcs;
+        // First non-empty VC at or (cyclically) after drainHint_:
+        // rotate the occupancy mask so the hint lands at bit 0, then
+        // count trailing zeros — same pick as the old linear scan in
+        // two instructions.
+        const int picked =
+            (drainHint_
+             + std::countr_zero(std::rotr(
+                 sinkOccMask_, static_cast<unsigned>(drainHint_))))
+            & 63;
+        drainHint_ = picked + 1 == num_vcs ? 0 : picked + 1;
         auto& buf = sinkVcs_[static_cast<std::size_t>(picked)];
         const Flit f = buf.front();
         buf.pop_front();
+        if (buf.empty())
+            sinkOccMask_ &= ~(VcMask{1} << picked);
         --sinkFlits_;
         ++flitsEjected_;
         if (creditToRouter_)
@@ -173,6 +180,22 @@ Endpoint::drainEjected()
     std::vector<EjectedPacket> out;
     out.swap(ejected_);
     return out;
+}
+
+void
+Endpoint::drainEjectedInto(std::vector<EjectedPacket>& out)
+{
+    out.insert(out.end(), ejected_.begin(), ejected_.end());
+    ejected_.clear();
+}
+
+void
+Endpoint::reserveSourceQueue(std::size_t packets)
+{
+    FP_ASSERT(sourceQueue_.empty(),
+              "reserveSourceQueue on a non-empty source queue");
+    if (packets > sourceQueue_.capacity())
+        sourceQueue_.reset(packets, /*growable=*/true);
 }
 
 std::int64_t

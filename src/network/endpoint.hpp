@@ -11,7 +11,6 @@
 #define FOOTPRINT_NETWORK_ENDPOINT_HPP
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "router/channel.hpp"
@@ -128,6 +127,15 @@ class Endpoint
     std::vector<EjectedPacket> drainEjected();
 
     /**
+     * Append the ejected packets to @p out and clear the internal
+     * list. Allocation-free once @p out's capacity has warmed up —
+     * the per-cycle collect loops use this instead of the by-value
+     * drainEjected() so a steady-state cycle performs no heap
+     * allocation (DESIGN.md §17).
+     */
+    void drainEjectedInto(std::vector<EjectedPacket>& out);
+
+    /**
      * Ejected packets waiting for drainEjected(). Drivers check this
      * before calling drainEjected() so the per-node collect loop
      * costs one inlined load on quiet nodes instead of a by-value
@@ -139,6 +147,15 @@ class Endpoint
 
     /** Flits waiting in the source (queued packets + current). */
     std::int64_t sourceBacklogFlits() const;
+
+    /**
+     * Pre-size the source queue for @p packets queued packets. The
+     * queue grows on demand either way; reserving up front lets
+     * zero-allocation benches keep a monotonically growing saturation
+     * backlog without the queue doubling mid-measurement. Only valid
+     * while the queue is empty.
+     */
+    void reserveSourceQueue(std::size_t packets);
 
     /** Flits currently buffered in the sink. */
     int sinkBufferedFlits() const;
@@ -192,7 +209,7 @@ class Endpoint
     // Source side.
     FlitChannel* toRouter_ = nullptr;
     CreditChannel* creditFromRouter_ = nullptr;
-    std::deque<Packet> sourceQueue_;
+    RingBuffer<Packet> sourceQueue_;  ///< growable (open-loop backlog)
     std::vector<OutVcState> injectVcs_;  ///< router local-input VC view
     bool injecting_ = false;
     Packet current_;
@@ -205,6 +222,7 @@ class Endpoint
     FlitChannel* fromRouter_ = nullptr;
     CreditChannel* creditToRouter_ = nullptr;
     std::vector<RingBuffer<Flit>> sinkVcs_;
+    VcMask sinkOccMask_ = 0;  ///< bit v set while sinkVcs_[v] non-empty
     int sinkFlits_ = 0;  ///< total flits across sink VCs
     int drainHint_ = 0;
     std::vector<EjectedPacket> ejected_;

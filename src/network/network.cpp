@@ -28,20 +28,6 @@ StatusBoard::idleCount(int node, int port) const
                   [static_cast<std::size_t>(port)];
 }
 
-FlitChannel*
-Network::newFlitChannel(int latency)
-{
-    flitChannels_.push_back(std::make_unique<FlitChannel>(latency));
-    return flitChannels_.back().get();
-}
-
-CreditChannel*
-Network::newCreditChannel(int latency)
-{
-    creditChannels_.push_back(std::make_unique<CreditChannel>(latency));
-    return creditChannels_.back().get();
-}
-
 Network::Network(const SimConfig& cfg)
     : mesh_(static_cast<int>(cfg.getInt("mesh_width")),
             static_cast<int>(cfg.getInt("mesh_height")))
@@ -116,54 +102,125 @@ Network::Network(const SimConfig& cfg)
         endpoints_.back()->setDeferReleases(true);
     }
 
-    // Inter-router links: for each node, wire East and North links (the
-    // reverse directions are the neighbor's West/South ports).
+    // --- Link enumeration (two-phase construction, DESIGN.md §17). ---
+    // First enumerate every directed link without creating channels:
+    // the plan order below is the historical links_ order (East/North
+    // pairs per node, then the endpoint pair per node), which the
+    // auditor, heatmap, and state dumps iterate. Channel *ids* are
+    // then assigned grouped by writer node so the fabric can lay each
+    // writer's lanes out contiguously.
+    struct LinkPlan
+    {
+        LinkRecord::Kind kind;
+        int srcNode;
+        int srcPort;
+        int dstNode;
+        int dstPort;
+    };
+    std::vector<LinkPlan> plans;
+    plans.reserve(static_cast<std::size_t>(6 * n));
     for (int node = 0; node < n; ++node) {
         for (Dir d : {Dir::East, Dir::North}) {
             if (!mesh_.hasNeighbor(node, d))
                 continue;
             const int nbr = mesh_.neighbor(node, d);
             const Dir rd = opposite(d);
-
-            // node --flits--> nbr and the credit return path.
-            FlitChannel* f_fwd = newFlitChannel(link_latency);
-            CreditChannel* c_fwd = newCreditChannel(link_latency);
-            router(node).connectOutput(portOf(d), f_fwd, c_fwd);
-            router(nbr).connectInput(portOf(rd), f_fwd, c_fwd);
-            nodeOutChannels_[idx(node)].push_back(f_fwd);
-            links_.push_back({LinkRecord::Kind::RouterToRouter, node,
-                              portOf(d), nbr, portOf(rd), f_fwd, c_fwd});
-
-            // nbr --flits--> node and its credit return path.
-            FlitChannel* f_rev = newFlitChannel(link_latency);
-            CreditChannel* c_rev = newCreditChannel(link_latency);
-            router(nbr).connectOutput(portOf(rd), f_rev, c_rev);
-            router(node).connectInput(portOf(d), f_rev, c_rev);
-            nodeOutChannels_[idx(nbr)].push_back(f_rev);
-            links_.push_back({LinkRecord::Kind::RouterToRouter, nbr,
-                              portOf(rd), node, portOf(d), f_rev,
-                              c_rev});
-
+            plans.push_back({LinkRecord::Kind::RouterToRouter, node,
+                             portOf(d), nbr, portOf(rd)});
+            plans.push_back({LinkRecord::Kind::RouterToRouter, nbr,
+                             portOf(rd), node, portOf(d)});
             router(node).setNeighbor(portOf(d), nbr);
             router(nbr).setNeighbor(portOf(rd), node);
         }
     }
-
-    // Endpoint links on each router's local port.
     for (int node = 0; node < n; ++node) {
-        FlitChannel* inj = newFlitChannel(link_latency);
-        CreditChannel* inj_credit = newCreditChannel(link_latency);
-        FlitChannel* ej = newFlitChannel(link_latency);
-        CreditChannel* ej_credit = newCreditChannel(link_latency);
+        plans.push_back({LinkRecord::Kind::EndpointToRouter, node, -1,
+                         node, portOf(Dir::Local)});
+        plans.push_back({LinkRecord::Kind::RouterToEndpoint, node,
+                         portOf(Dir::Local), node, -1});
+    }
 
-        router(node).connectInput(portOf(Dir::Local), inj, inj_credit);
-        router(node).connectOutput(portOf(Dir::Local), ej, ej_credit);
-        endpoint(node).connect(inj, inj_credit, ej, ej_credit);
-        nodeOutChannels_[idx(node)].push_back(ej);
-        links_.push_back({LinkRecord::Kind::EndpointToRouter, node, -1,
-                          node, portOf(Dir::Local), inj, inj_credit});
-        links_.push_back({LinkRecord::Kind::RouterToEndpoint, node,
-                          portOf(Dir::Local), node, -1, ej, ej_credit});
+    // Stable counting sort of plan index -> channel id: flit channels
+    // are written by their srcNode (router transmit or endpoint
+    // inject), credit channels by their dstNode (the flit receiver
+    // returns credits).
+    const std::size_t nl = plans.size();
+    std::vector<std::size_t> flit_id(nl);
+    std::vector<std::size_t> credit_id(nl);
+    {
+        std::vector<std::size_t> start(static_cast<std::size_t>(n) + 1,
+                                       0);
+        for (const LinkPlan& p : plans)
+            ++start[idx(p.srcNode) + 1];
+        for (std::size_t i = 1; i < start.size(); ++i)
+            start[i] += start[i - 1];
+        for (std::size_t i = 0; i < nl; ++i)
+            flit_id[i] = start[idx(plans[i].srcNode)]++;
+        start.assign(static_cast<std::size_t>(n) + 1, 0);
+        for (const LinkPlan& p : plans)
+            ++start[idx(p.dstNode) + 1];
+        for (std::size_t i = 1; i < start.size(); ++i)
+            start[i] += start[i - 1];
+        for (std::size_t i = 0; i < nl; ++i)
+            credit_id[i] = start[idx(plans[i].dstNode)]++;
+    }
+
+    // Ring capacity bound per writer: a flit link carries at most one
+    // flit per cycle; a credit link carries up to internalSpeedup
+    // credits per cycle when a router returns them (moveFlit) and up
+    // to ejectionRate when the sink does.
+    std::vector<LinkFabric::Spec> flit_specs(nl);
+    std::vector<LinkFabric::Spec> credit_specs(nl);
+    for (std::size_t i = 0; i < nl; ++i) {
+        const LinkPlan& p = plans[i];
+        flit_specs[flit_id[i]] = {p.srcNode, link_latency, 1};
+        const int credit_rate =
+            p.kind == LinkRecord::Kind::RouterToEndpoint
+            ? ep.ejectionRate
+            : params_.internalSpeedup;
+        credit_specs[credit_id[i]] = {p.dstNode, link_latency,
+                                      credit_rate};
+    }
+    fabric_.build(flit_specs, credit_specs);
+
+    // Second phase: wire the fabric's pipes to routers and endpoints
+    // in plan order. Endpoint wiring is gathered per node because
+    // Endpoint::connect takes all four pipes at once.
+    std::vector<std::array<void*, 4>> ep_wiring(
+        static_cast<std::size_t>(n), {nullptr, nullptr, nullptr,
+                                      nullptr});
+    links_.reserve(nl);
+    for (std::size_t i = 0; i < nl; ++i) {
+        const LinkPlan& p = plans[i];
+        FlitChannel* f = &fabric_.flit(flit_id[i]);
+        CreditChannel* c = &fabric_.credit(credit_id[i]);
+        switch (p.kind) {
+        case LinkRecord::Kind::RouterToRouter:
+            router(p.srcNode).connectOutput(p.srcPort, f, c);
+            router(p.dstNode).connectInput(p.dstPort, f, c);
+            nodeOutChannels_[idx(p.srcNode)].push_back(f);
+            break;
+        case LinkRecord::Kind::EndpointToRouter:
+            router(p.dstNode).connectInput(p.dstPort, f, c);
+            ep_wiring[idx(p.srcNode)][0] = f;
+            ep_wiring[idx(p.srcNode)][1] = c;
+            break;
+        case LinkRecord::Kind::RouterToEndpoint:
+            router(p.srcNode).connectOutput(p.srcPort, f, c);
+            nodeOutChannels_[idx(p.srcNode)].push_back(f);
+            ep_wiring[idx(p.dstNode)][2] = f;
+            ep_wiring[idx(p.dstNode)][3] = c;
+            break;
+        }
+        links_.push_back({p.kind, p.srcNode, p.srcPort, p.dstNode,
+                          p.dstPort, f, c, flit_id[i], credit_id[i]});
+    }
+    for (int node = 0; node < n; ++node) {
+        auto& w = ep_wiring[idx(node)];
+        endpoint(node).connect(static_cast<FlitChannel*>(w[0]),
+                               static_cast<CreditChannel*>(w[1]),
+                               static_cast<FlitChannel*>(w[2]),
+                               static_cast<CreditChannel*>(w[3]));
     }
 
     buildWakeGraph();
@@ -630,18 +687,8 @@ Network::skipTo(std::int64_t cycle)
 std::int64_t
 Network::nextLinkArrivalCycle() const
 {
-    std::int64_t earliest = FlitChannel::kNoArrival;
-    for (const auto& ch : flitChannels_) {
-        const std::int64_t c = ch->headReadyCycle();
-        if (c < earliest)
-            earliest = c;
-    }
-    for (const auto& ch : creditChannels_) {
-        const std::int64_t c = ch->headReadyCycle();
-        if (c < earliest)
-            earliest = c;
-    }
-    return earliest;
+    ProfileScope ps(profiler_, ProfPhase::Link);
+    return fabric_.minHeadReady();
 }
 
 std::int64_t
@@ -652,9 +699,7 @@ Network::totalFlitsInFlight() const
         total += r->totalBufferedFlits();
     for (const auto& e : endpoints_)
         total += e->sinkBufferedFlits();
-    for (const auto& ch : flitChannels_)
-        total += static_cast<std::int64_t>(ch->inFlightCount());
-    return total;
+    return total + fabric_.flitsInFlight();
 }
 
 Router::Counters
@@ -702,10 +747,8 @@ Network::totalFlitsEjected() const
 std::uint64_t
 Network::totalFlitsSent() const
 {
-    std::uint64_t total = 0;
-    for (const auto& ch : flitChannels_)
-        total += ch->sentCount();
-    return total;
+    ProfileScope ps(profiler_, ProfPhase::Link);
+    return fabric_.totalFlitsSent();
 }
 
 void
@@ -750,7 +793,7 @@ Network::attachTelemetry(TelemetryHub& hub)
     });
     hub.addChannel("net.link_util", ChannelKind::Rate, [this] {
         return static_cast<double>(totalFlitsSent())
-            / static_cast<double>(flitChannels_.size());
+            / static_cast<double>(fabric_.flitCount());
     });
     hub.addChannel("net.va_grants", ChannelKind::Counter, [this] {
         double total = 0.0;

@@ -19,6 +19,7 @@
 #include "exec/thread_pool.hpp"
 #include "sim/active_set.hpp"
 #include "network/endpoint.hpp"
+#include "network/link_fabric.hpp"
 #include "router/packet_pool.hpp"
 #include "router/router.hpp"
 #include "sim/config.hpp"
@@ -108,11 +109,15 @@ class Network
 
     /**
      * Earliest arrival cycle over every flit and credit channel, or
-     * Pipe::kNoArrival. O(links); diagnostic/test aid for the horizon
+     * Pipe::kNoArrival: one branch-light pass over the fabric's flat
+     * head-arrival lane. Diagnostic/test aid for the horizon
      * invariant — the skip fast path itself only runs when idle()
      * proves all channels empty.
      */
     std::int64_t nextLinkArrivalCycle() const;
+
+    /** The flat link/credit fabric (DESIGN.md §17). */
+    const LinkFabric& linkFabric() const { return fabric_; }
 
     StepMode stepMode() const { return stepMode_; }
 
@@ -192,6 +197,8 @@ class Network
         int dstPort = -1;  ///< input port at dst
         FlitChannel* flit = nullptr;
         CreditChannel* credit = nullptr;
+        std::size_t flitId = 0;    ///< fabric flit-channel id
+        std::size_t creditId = 0;  ///< fabric credit-channel id
     };
 
     const std::vector<LinkRecord>& links() const { return links_; }
@@ -213,9 +220,6 @@ class Network
     // stepping's node order).
     static int routerComp(int node) { return 2 * node; }
     static int endpointComp(int node) { return 2 * node + 1; }
-
-    FlitChannel* newFlitChannel(int latency);
-    CreditChannel* newCreditChannel(int latency);
 
     void buildWakeGraph();
     void buildShards(int threads, int shards);
@@ -246,8 +250,8 @@ class Network
     PacketPool pool_;
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Endpoint>> endpoints_;
-    std::vector<std::unique_ptr<FlitChannel>> flitChannels_;
-    std::vector<std::unique_ptr<CreditChannel>> creditChannels_;
+    /** Every link pipe + the flat lanes behind the batched queries. */
+    LinkFabric fabric_;
     /** Outgoing flit channels per node (router outputs incl. local). */
     std::vector<std::vector<const FlitChannel*>> nodeOutChannels_;
     std::vector<LinkRecord> links_;

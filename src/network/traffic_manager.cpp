@@ -290,6 +290,9 @@ TrafficManager::run()
     std::int64_t last_progress_cycle = 0;
     std::int64_t cycle = 0;
     std::int64_t hard_limit = warmup + measure + drain_limit;
+    // Collect-loop scratch; capacity warms up once, then the per-cycle
+    // drain is allocation-free.
+    std::vector<EjectedPacket> drained;
 
     const char* abort_reason = nullptr;
 
@@ -400,8 +403,9 @@ TrafficManager::run()
         for (int node = 0; node < n; ++node) {
             if (net.endpoint(node).ejectedCount() == 0)
                 continue;
-            for (const EjectedPacket& p :
-                 net.endpoint(node).drainEjected()) {
+            drained.clear();
+            net.endpoint(node).drainEjectedInto(drained);
+            for (const EjectedPacket& p : drained) {
                 if (recorder)
                     recorder->onEjected(p.latency());
                 if (p.flowClass == FlowClass::Hotspot) {

@@ -47,9 +47,11 @@ HeatmapCollector::HeatmapCollector(const Network& net,
     escOccSum_.assign(n, 0.0);
     injBacklogSum_.assign(n, 0.0);
 
+    // Baselines come from the fabric's flat sent lane (one contiguous
+    // read per link) rather than chasing per-channel objects.
     linkSentBase_.reserve(net.links().size());
     for (const Network::LinkRecord& l : net.links())
-        linkSentBase_.push_back(l.flit->sentCount());
+        linkSentBase_.push_back(net.linkFabric().flitSent(l.flitId));
 }
 
 void
@@ -104,7 +106,7 @@ HeatmapCollector::closeWindow(std::int64_t end_cycle)
     const std::vector<Network::LinkRecord>& links = net_.links();
     for (std::size_t li = 0; li < links.size(); ++li) {
         const Network::LinkRecord& l = links[li];
-        const std::uint64_t sent = l.flit->sentCount();
+        const std::uint64_t sent = net_.linkFabric().flitSent(l.flitId);
         const double flits =
             static_cast<double>(sent - linkSentBase_[li]);
         linkSentBase_[li] = sent;

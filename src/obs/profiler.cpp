@@ -27,6 +27,8 @@ profPhaseName(ProfPhase p)
         return "collect";
     case ProfPhase::Skip:
         return "skip";
+    case ProfPhase::Link:
+        return "link";
     case ProfPhase::Count:
         break;
     }

@@ -44,6 +44,7 @@ enum class ProfPhase : int {
     Epilogue,     ///< reschedule, descriptor flush/refill, scratch merge
     Collect,      ///< ejected-packet collection (TrafficManager)
     Skip,         ///< horizon computation + clock jumps (skip-ahead)
+    Link,         ///< batched fabric-lane passes (arrival min, sent sums)
     Count,
 };
 

@@ -1,12 +1,17 @@
 #include "obs/run_metadata.hpp"
 
 #include <cstdio>
+#include <thread>
 
 #include "obs/sink.hpp"
 #include "sim/config.hpp"
 
 #ifndef FP_GIT_DESCRIBE
 #define FP_GIT_DESCRIBE "unknown"
+#endif
+
+#ifndef FP_BUILD_TYPE
+#define FP_BUILD_TYPE "unknown"
 #endif
 
 namespace footprint {
@@ -33,6 +38,9 @@ RunMetadata::fromConfig(const SimConfig& cfg)
         meta.seed = static_cast<std::uint64_t>(cfg.getInt("seed"));
     meta.configHash = fnv1aHex(cfg.toString());
     meta.gitDescribe = buildVersion();
+    meta.buildType = compiledBuildType();
+    meta.numCpus =
+        static_cast<int>(std::thread::hardware_concurrency());
     return meta;
 }
 
@@ -43,11 +51,20 @@ RunMetadata::buildVersion()
 }
 
 std::string
+RunMetadata::compiledBuildType()
+{
+    const char* t = FP_BUILD_TYPE;
+    return *t != '\0' ? t : "unknown";
+}
+
+std::string
 RunMetadata::toJson() const
 {
     return "{\"seed\":" + std::to_string(seed) + ",\"config_hash\":\""
         + jsonEscape(configHash) + "\",\"git\":\""
-        + jsonEscape(gitDescribe) + "\",\"start_cycle\":"
+        + jsonEscape(gitDescribe) + "\",\"build_type\":\""
+        + jsonEscape(buildType) + "\",\"num_cpus\":"
+        + std::to_string(numCpus) + ",\"start_cycle\":"
         + std::to_string(startCycle) + "}";
 }
 

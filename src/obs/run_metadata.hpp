@@ -27,6 +27,8 @@ struct RunMetadata
     std::uint64_t seed = 0;
     std::string configHash;
     std::string gitDescribe;
+    std::string buildType;  ///< CMAKE_BUILD_TYPE the library compiled as
+    int numCpus = 0;        ///< hardware threads visible at run time
     std::int64_t startCycle = 0;
 
     /** Derive metadata from @p cfg (seed + hash of all keys). */
@@ -35,7 +37,15 @@ struct RunMetadata
     /** The build's git describe string ("unknown" outside git). */
     static std::string buildVersion();
 
-    /** {"seed":S,"config_hash":"H","git":"G","start_cycle":C}. */
+    /** CMAKE_BUILD_TYPE baked at compile time ("unknown" if unset). */
+    static std::string compiledBuildType();
+
+    /**
+     * {"seed":S,"config_hash":"H","git":"G","build_type":"B",
+     *  "num_cpus":N,"start_cycle":C}. Perf gates read build_type /
+     * num_cpus to flag numbers measured on a debug build or an
+     * unexpected machine shape.
+     */
     std::string toJson() const;
 
     /** "seed=S config_hash=H git=G start_cycle=C" (CSV comments). */

@@ -153,6 +153,22 @@ class PacketPool
             addSpare(s);
     }
 
+    /**
+     * Reserve vector capacity for @p n slots in every segment. The
+     * pool still grows lazily (addSpare at high-water marks), but
+     * growth within the reserved capacity never touches the heap —
+     * zero-allocation benches call this before measuring so late
+     * high-water marks cannot allocate mid-window (DESIGN.md §17).
+     */
+    void
+    reserveSlotCapacity(std::size_t n)
+    {
+        for (Segment& s : segments_) {
+            s.slots.reserve(n);
+            s.freeIdx.reserve(n);
+        }
+    }
+
     /** Slots currently allocated to live packets (excl. reserved). */
     std::size_t
     liveCount() const

@@ -28,21 +28,32 @@ Router::Router(const Mesh& mesh, int node, const RouterParams& params,
         in.requests.resize(static_cast<std::size_t>(params.numVcs));
     }
     for (auto& out : outputs_) {
-        out.vcs.assign(static_cast<std::size_t>(params.numVcs),
-                       OutVcState(params.vcBufSize));
         out.saArbiter.resize(kNumPorts);
         out.fifo.reset(static_cast<std::size_t>(params.outputFifoSize));
     }
     neighborNode_.fill(-1);
 
+    vcAll_ = maskOfFirst(params.numVcs);
     const auto total_vcs =
         static_cast<std::size_t>(kNumPorts * params.numVcs);
-    vcRequesters_.resize(total_vcs);
+    outCredits_.assign(total_vcs,
+                       static_cast<std::int16_t>(params.vcBufSize));
+    outOwner_.assign(total_vcs, -1);
+    outFullCredit_.fill(vcAll_);
+    if (params.vcBufSize == 0)
+        outZeroCredit_.fill(vcAll_);
+
+    // VA scratch: fixed flat tables, never resized after this.
+    waiting_.reserve(total_vcs);
+    touchedOutVcs_.reserve(total_vcs);
+    vaBestPri_.assign(total_vcs, -1);
+    vaBestDist_.assign(total_vcs, 0);
+    vaBestReq_.assign(total_vcs, 0);
     vcRrPtr_.assign(total_vcs, 0);
     bestGrant_.resize(total_vcs);
     destConvergence_.assign(static_cast<std::size_t>(mesh.numNodes()),
                             0);
-    statusIdleDirty_.fill(1);
+    destWaitTouched_.reserve(static_cast<std::size_t>(mesh.numNodes()));
     publishDirty_ = (std::uint32_t{1} << kNumPorts) - 1;
 }
 
@@ -95,8 +106,7 @@ Router::receivePhase(std::int64_t cycle)
         while (auto c = out.creditIn->receive(cycle)) {
             FP_ASSERT(c->vc >= 0 && c->vc < params_.numVcs,
                       "credit arrived with bad VC " << c->vc);
-            out.vcs[static_cast<std::size_t>(c->vc)].returnCredit();
-            statusIdleDirty_[static_cast<std::size_t>(op)] = 1;
+            ovReturnCredit(op, c->vc);
             publishDirty_ |= std::uint32_t{1} << op;
         }
     }
@@ -148,13 +158,6 @@ Router::runVcAllocation()
         }
     }
 
-    // Output-VC state is constant throughout request gathering, so
-    // each port's masks can be cached across the window; they are
-    // filled lazily on first access since the routing functions only
-    // consult the ports they actually consider.
-    maskPortValid_.fill(0);
-    maskCacheValid_ = true;
-
     waiting_.clear();
     for (int ip = 0; ip < kNumPorts; ++ip) {
         InputPort& in = inputs_[static_cast<std::size_t>(ip)];
@@ -177,45 +180,48 @@ Router::runVcAllocation()
                 waiting_.emplace_back(ip, v);
         }
     }
-    maskCacheValid_ = false;
     if (waiting_.empty())
         return;
 
-    // Which output VCs can be allocated right now; filled lazily since
-    // most cycles request only a subset of the ports.
-    VcMask alloc_mask[kNumPorts];
-    std::uint8_t alloc_valid[kNumPorts] = {};
-
-    // Scatter requests onto the allocatable output VCs they target.
+    // Scatter requests onto the allocatable output VCs they target,
+    // keeping a per-output-VC running best instead of materialising
+    // requester lists: the arbitration below is a strict max over
+    // (priority, round-robin distance), so folding requesters in
+    // scatter order picks the same winner the old list walk did —
+    // distances are unique per requester id, making the max
+    // order-independent. Output-VC state is constant throughout the
+    // gather/scatter window (commits happen strictly after), so the
+    // live masks are safe to read here.
     for (const auto& [ip, v] : waiting_) {
         const int id = ip * num_vcs + v;
         bestGrant_[static_cast<std::size_t>(id)] = VaGrant{};
         const OutputSet& set = inputs_[static_cast<std::size_t>(ip)]
                                    .requests[static_cast<std::size_t>(v)];
         for (const VcRequest& r : set.requests()) {
-            const auto rp = static_cast<std::size_t>(r.port);
-            if (!alloc_valid[rp]) {
-                const OutputPort& out = outputs_[rp];
-                VcMask am = 0;
-                for (int ov = 0; ov < num_vcs; ++ov) {
-                    if (out.vcs[static_cast<std::size_t>(ov)]
-                            .allocatable(atomic)) {
-                        am |= VcMask{1} << ov;
-                    }
-                }
-                alloc_mask[rp] = am;
-                alloc_valid[rp] = 1;
-            }
-            VcMask m = r.vcs & alloc_mask[rp];
+            VcMask m = r.vcs & allocatableMaskOf(r.port, atomic);
+            const auto pri =
+                static_cast<std::int8_t>(r.priority);
+            const int base = r.port * num_vcs;
             while (m != 0) {
                 const int ov = std::countr_zero(m);
                 m &= m - 1;
-                const auto idx =
-                    static_cast<std::size_t>(r.port * num_vcs + ov);
-                if (vcRequesters_[idx].empty())
-                    touchedOutVcs_.push_back(static_cast<int>(idx));
-                vcRequesters_[idx].emplace_back(
-                    id, static_cast<int>(r.priority));
+                const auto idx = static_cast<std::size_t>(base + ov);
+                if (vaBestPri_[idx] < 0) {
+                    touchedOutVcs_.push_back(
+                        static_cast<int>(idx));
+                }
+                int dist = id - vcRrPtr_[idx];
+                if (dist < 0)
+                    dist += total_ids;
+                if (pri > vaBestPri_[idx]
+                    || (pri == vaBestPri_[idx]
+                        && dist < vaBestDist_[idx])) {
+                    vaBestPri_[idx] = pri;
+                    vaBestDist_[idx] =
+                        static_cast<std::int16_t>(dist);
+                    vaBestReq_[idx] =
+                        static_cast<std::int16_t>(id);
+                }
             }
         }
     }
@@ -223,29 +229,17 @@ Router::runVcAllocation()
     // Output-side arbitration: each requested output VC offers itself
     // to its highest-priority requester (round-robin tie-break), then
     // each input VC accepts its best offer; declined output VCs stay
-    // free this cycle.
+    // free this cycle. Resetting each entry's sentinel here keeps the
+    // tables clean without a bulk clear.
     for (const int idx : touchedOutVcs_) {
-        auto& list = vcRequesters_[static_cast<std::size_t>(idx)];
-        const int ptr = vcRrPtr_[static_cast<std::size_t>(idx)];
-        int best_id = -1;
-        int best_pri = -1;
-        int best_dist = total_ids;
-        for (const auto& [id, pri] : list) {
-            const int dist = (id - ptr + total_ids) % total_ids;
-            if (pri > best_pri
-                || (pri == best_pri && dist < best_dist)) {
-                best_pri = pri;
-                best_dist = dist;
-                best_id = id;
-            }
-        }
-        list.clear();
-        if (best_id < 0)
-            continue;
-        vcRrPtr_[static_cast<std::size_t>(idx)] =
-            (best_id + 1) % total_ids;
+        const auto i = static_cast<std::size_t>(idx);
+        const int best_id = vaBestReq_[i];
+        const auto pri = static_cast<Priority>(vaBestPri_[i]);
+        vaBestPri_[i] = -1;
+        const int next = best_id + 1;
+        vcRrPtr_[i] =
+            static_cast<std::int16_t>(next == total_ids ? 0 : next);
         VaGrant& g = bestGrant_[static_cast<std::size_t>(best_id)];
-        const auto pri = static_cast<Priority>(best_pri);
         if (g.outPort < 0 || pri > g.priority) {
             g.outPort = idx / num_vcs;
             g.outVc = idx % num_vcs;
@@ -257,17 +251,15 @@ Router::runVcAllocation()
     // Commit accepted grants; record blocking events for the rest.
     for (const auto& [ip, v] : waiting_) {
         const int id = ip * num_vcs + v;
-        InputVc& ivc = inputs_[static_cast<std::size_t>(ip)]
-                           .vcs[static_cast<std::size_t>(v)];
+        InputPort& in = inputs_[static_cast<std::size_t>(ip)];
+        InputVc& ivc = in.vcs[static_cast<std::size_t>(v)];
         const VaGrant& g = bestGrant_[static_cast<std::size_t>(id)];
         if (g.outPort >= 0) {
             ivc.state = InputVc::State::Active;
             ivc.outPort = g.outPort;
             ivc.outVc = g.outVc;
-            outputs_[static_cast<std::size_t>(g.outPort)]
-                .vcs[static_cast<std::size_t>(g.outVc)]
-                .allocate(ivc.front().dest);
-            statusIdleDirty_[static_cast<std::size_t>(g.outPort)] = 1;
+            in.activeMask |= VcMask{1} << v;
+            ovAllocate(g.outPort, g.outVc, ivc.front().dest);
             publishDirty_ |= std::uint32_t{1} << g.outPort;
             ++counters_.vcAllocSuccess;
             ++counters_.vaGrantsByPriority[static_cast<std::size_t>(
@@ -280,8 +272,7 @@ Router::runVcAllocation()
             // the packet's primary requested port.
             ++counters_.vcAllocFail;
             const OutputSet& set =
-                inputs_[static_cast<std::size_t>(ip)]
-                    .requests[static_cast<std::size_t>(v)];
+                in.requests[static_cast<std::size_t>(v)];
             const int port = set.requests().front().port;
             const VcMask occ_mask = occupiedVcMask(port);
             const int occ = popcount(occ_mask);
@@ -310,23 +301,21 @@ Router::runSwitchAllocation()
 
     for (int pass = 0; pass < params_.internalSpeedup; ++pass) {
         // Input-side: each input port nominates one eligible VC. Only
-        // non-empty VCs (the occupancy mask) can be eligible.
+        // non-empty Active VCs (occupancy & active masks) qualify.
         std::array<std::uint64_t, kNumPorts> port_req{};
         bool any_winner = false;
         for (int ip = 0; ip < kNumPorts; ++ip) {
             InputPort& in = inputs_[static_cast<std::size_t>(ip)];
             VcMask elig = 0;
-            for (VcMask m = in.occMask; m != 0; m &= m - 1) {
+            for (VcMask m = in.occMask & in.activeMask; m != 0;
+                 m &= m - 1) {
                 const int v = std::countr_zero(m);
                 const InputVc& ivc =
                     in.vcs[static_cast<std::size_t>(v)];
-                if (ivc.state != InputVc::State::Active)
-                    continue;
-                const OutputPort& out = outputs_[
-                    static_cast<std::size_t>(ivc.outPort)];
-                if (out.vcs[static_cast<std::size_t>(ivc.outVc)]
-                            .credits() > 0
-                    && static_cast<int>(out.fifo.size())
+                const auto op =
+                    static_cast<std::size_t>(ivc.outPort);
+                if (!((outZeroCredit_[op] >> ivc.outVc) & VcMask{1})
+                    && static_cast<int>(outputs_[op].fifo.size())
                         < params_.outputFifoSize) {
                     elig |= VcMask{1} << v;
                 }
@@ -378,16 +367,17 @@ Router::moveFlit(int in_port, int in_vc)
         in.occMask &= ~(VcMask{1} << in_vc);
     --bufferedFlits_;
 
-    OutputPort& out = outputs_[static_cast<std::size_t>(ivc.outPort)];
-    OutVcState& ovc = out.vcs[static_cast<std::size_t>(ivc.outVc)];
-    statusIdleDirty_[static_cast<std::size_t>(ivc.outPort)] = 1;
-    publishDirty_ |= std::uint32_t{1} << ivc.outPort;
-    f.vc = static_cast<std::int16_t>(ivc.outVc);
+    const int out_port = ivc.outPort;
+    const int out_vc = ivc.outVc;
+    OutputPort& out = outputs_[static_cast<std::size_t>(out_port)];
+    publishDirty_ |= std::uint32_t{1} << out_port;
+    f.vc = static_cast<std::int16_t>(out_vc);
     ++f.hops;
-    ovc.consumeCredit();
+    ovConsumeCredit(out_port, out_vc);
     if (f.tail) {
-        ovc.tailSent();
+        ovTailSent(out_port, out_vc);
         ivc.releaseRoute();
+        in.activeMask &= ~(VcMask{1} << in_vc);
     }
     out.fifo.push_back(f);
     ++fifoFlits_;
@@ -429,36 +419,9 @@ Router::hasPendingWork() const
 }
 
 VcMask
-Router::computeIdleVcMask(int port) const
-{
-    const OutputPort& out = outputs_[static_cast<std::size_t>(port)];
-    VcMask m = 0;
-    for (int v = 0; v < params_.numVcs; ++v) {
-        if (out.vcs[static_cast<std::size_t>(v)].idle())
-            m |= VcMask{1} << v;
-    }
-    return m;
-}
-
-void
-Router::fillMaskCache(int port) const
-{
-    const auto p = static_cast<std::size_t>(port);
-    if (maskPortValid_[p])
-        return;
-    cachedIdle_[p] = computeIdleVcMask(port);
-    cachedOccupied_[p] = computeOccupiedVcMask(port);
-    cachedZeroCredit_[p] = computeZeroCreditVcMask(port);
-    maskPortValid_[p] = 1;
-}
-
-VcMask
 Router::idleVcMask(int port) const
 {
-    if (!maskCacheValid_)
-        return computeIdleVcMask(port);
-    fillMaskCache(port);
-    return cachedIdle_[static_cast<std::size_t>(port)];
+    return idleMaskOf(port);
 }
 
 VcMask
@@ -467,57 +430,27 @@ Router::footprintVcMask(int port, int dest) const
     // Owner registers persist after a VC drains (they are only
     // overwritten on reallocation, as the Sec. 4.4 hardware does), so a
     // freshly drained VC remains a footprint VC for its destination
-    // until another packet claims it.
-    const OutputPort& out = outputs_[static_cast<std::size_t>(port)];
+    // until another packet claims it. Contiguous int16 compare over
+    // the port's slice of the owner lane; vectorisable.
+    const std::int16_t* owner = outOwner_.data()
+        + static_cast<std::size_t>(port * params_.numVcs);
+    const auto d = static_cast<std::int16_t>(dest);
     VcMask m = 0;
-    for (int v = 0; v < params_.numVcs; ++v) {
-        const OutVcState& s = out.vcs[static_cast<std::size_t>(v)];
-        if (s.ownerDest() == dest)
-            m |= VcMask{1} << v;
-    }
-    return m;
-}
-
-VcMask
-Router::computeOccupiedVcMask(int port) const
-{
-    const OutputPort& out = outputs_[static_cast<std::size_t>(port)];
-    VcMask m = 0;
-    for (int v = 0; v < params_.numVcs; ++v) {
-        if (out.vcs[static_cast<std::size_t>(v)].occupied())
-            m |= VcMask{1} << v;
-    }
+    for (int v = 0; v < params_.numVcs; ++v)
+        m |= static_cast<VcMask>(owner[v] == d) << v;
     return m;
 }
 
 VcMask
 Router::occupiedVcMask(int port) const
 {
-    if (!maskCacheValid_)
-        return computeOccupiedVcMask(port);
-    fillMaskCache(port);
-    return cachedOccupied_[static_cast<std::size_t>(port)];
-}
-
-VcMask
-Router::computeZeroCreditVcMask(int port) const
-{
-    const OutputPort& out = outputs_[static_cast<std::size_t>(port)];
-    VcMask m = 0;
-    for (int v = 0; v < params_.numVcs; ++v) {
-        if (out.vcs[static_cast<std::size_t>(v)].credits() == 0)
-            m |= VcMask{1} << v;
-    }
-    return m;
+    return occupiedMaskOf(port);
 }
 
 VcMask
 Router::zeroCreditVcMask(int port) const
 {
-    if (!maskCacheValid_)
-        return computeZeroCreditVcMask(port);
-    fillMaskCache(port);
-    return cachedZeroCredit_[static_cast<std::size_t>(port)];
+    return outZeroCredit_[static_cast<std::size_t>(port)];
 }
 
 int
@@ -546,30 +479,21 @@ Router::takePublishMask()
 int
 Router::idleVcCount(int port) const
 {
-    // Published to the status network every cycle; recomputed only
-    // after an output-VC state change on the port.
-    const auto p = static_cast<std::size_t>(port);
-    if (statusIdleDirty_[p]) {
-        statusIdleCount_[p] = popcount(computeIdleVcMask(port));
-        statusIdleDirty_[p] = 0;
-    }
-    return statusIdleCount_[p];
+    return popcount(idleMaskOf(port));
 }
 
 int
 Router::outVcOwner(int port, int vc) const
 {
-    const OutVcState& s = outputs_[static_cast<std::size_t>(port)]
-                              .vcs[static_cast<std::size_t>(vc)];
-    return s.occupied() ? s.ownerDest() : -1;
+    return ((occupiedMaskOf(port) >> vc) & VcMask{1})
+        ? outOwner_[ovIdx(port, vc)]
+        : -1;
 }
 
 bool
 Router::outVcOccupied(int port, int vc) const
 {
-    return outputs_[static_cast<std::size_t>(port)]
-        .vcs[static_cast<std::size_t>(vc)]
-        .occupied();
+    return ((occupiedMaskOf(port) >> vc) & VcMask{1}) != 0;
 }
 
 int
@@ -616,10 +540,8 @@ int
 Router::totalOutputCredits() const
 {
     int total = 0;
-    for (const auto& out : outputs_) {
-        for (const auto& vc : out.vcs)
-            total += vc.credits();
-    }
+    for (const std::int16_t c : outCredits_)
+        total += c;
     return total;
 }
 
@@ -628,7 +550,7 @@ Router::occupiedOutVcs() const
 {
     int total = 0;
     for (int port = 0; port < kNumPorts; ++port)
-        total += popcount(computeOccupiedVcMask(port));
+        total += popcount(occupiedMaskOf(port));
     return total;
 }
 
@@ -643,7 +565,7 @@ Router::occupiedOutVcsBelow(int vc_limit) const
     int total = 0;
     for (int port = 0; port < kNumPorts; ++port)
         total += popcount(
-            static_cast<VcMask>(computeOccupiedVcMask(port) & low));
+            static_cast<VcMask>(occupiedMaskOf(port) & low));
     return total;
 }
 
@@ -656,17 +578,14 @@ Router::outputFifoFlits() const
 int
 Router::outVcCredits(int port, int vc) const
 {
-    return outputs_[static_cast<std::size_t>(port)]
-        .vcs[static_cast<std::size_t>(vc)]
-        .credits();
+    return outCredits_[ovIdx(port, vc)];
 }
 
 bool
 Router::outVcBusy(int port, int vc) const
 {
-    return outputs_[static_cast<std::size_t>(port)]
-        .vcs[static_cast<std::size_t>(vc)]
-        .busy();
+    return ((outBusy_[static_cast<std::size_t>(port)] >> vc) & VcMask{1})
+        != 0;
 }
 
 const InputVc&
@@ -696,10 +615,7 @@ Router::outputFifoFlitsForVc(int port, int vc) const
 void
 Router::debugLeakCredit(int port, int vc)
 {
-    outputs_[static_cast<std::size_t>(port)]
-        .vcs[static_cast<std::size_t>(vc)]
-        .consumeCredit();
-    statusIdleDirty_[static_cast<std::size_t>(port)] = 1;
+    ovConsumeCredit(port, vc);
     publishDirty_ |= std::uint32_t{1} << port;
 }
 

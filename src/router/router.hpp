@@ -18,6 +18,7 @@
 #include "router/channel.hpp"
 #include "router/vc_state.hpp"
 #include "routing/routing.hpp"
+#include "sim/log.hpp"
 #include "sim/rng.hpp"
 #include "topo/mesh.hpp"
 
@@ -56,6 +57,16 @@ struct RouterParams
  *  - computePhase: routing + VC allocation + switch allocation
  *    (internalSpeedup passes) + crossbar traversal into output FIFOs,
  *  - transmitPhase: each output FIFO pushes one flit into its link.
+ *
+ * Output-VC bookkeeping is stored structure-of-arrays (DESIGN.md §17):
+ * per-port busy / zero-credit / full-credit bitmasks maintained
+ * incrementally on every state transition, plus flat credit and
+ * owner-destination lanes. The RouterView mask queries adaptive
+ * routing hammers every cycle (idle / occupied / zero-credit /
+ * footprint) reduce to one or two bitwise ops or a short contiguous
+ * scan instead of per-VC object walks, and a saturated compute phase
+ * performs zero heap allocations: all VA/SA scratch lives in
+ * fixed-capacity flat tables sized once at construction.
  */
 class Router : public RouterView
 {
@@ -237,14 +248,14 @@ class Router : public RouterView
         std::vector<InputVc> vcs;
         RoundRobinArbiter saArbiter;  ///< over this port's VCs
         std::vector<OutputSet> requests;  ///< per-VC request sets
-        VcMask occMask = 0;  ///< bit v set while vcs[v] is non-empty
+        VcMask occMask = 0;     ///< bit v set while vcs[v] is non-empty
+        VcMask activeMask = 0;  ///< bit v set while vcs[v] is Active
     };
 
     struct OutputPort
     {
         FlitChannel* flitOut = nullptr;
         CreditChannel* creditIn = nullptr;
-        std::vector<OutVcState> vcs;
         RoundRobinArbiter saArbiter;  ///< over input ports
         RingBuffer<Flit> fifo;  ///< capacity fixed to outputFifoSize
     };
@@ -261,6 +272,90 @@ class Router : public RouterView
         Priority priority = Priority::Lowest;
     };
 
+    // --- Output-VC state, structure-of-arrays. ---
+    //
+    // The per-port masks are the primary representation of the boolean
+    // VC states (busy / zero credits / full credits); the flat credit
+    // and owner lanes carry the counts routing and forensics read.
+    // Every transition goes through the ov*() helpers below so masks
+    // and lanes never disagree.
+
+    std::size_t
+    ovIdx(int port, int vc) const
+    {
+        return static_cast<std::size_t>(port * params_.numVcs + vc);
+    }
+
+    void
+    ovAllocate(int port, int vc, int dest)
+    {
+        FP_ASSERT(!((outBusy_[static_cast<std::size_t>(port)] >> vc)
+                    & VcMask{1}),
+                  "allocating a busy output VC");
+        outBusy_[static_cast<std::size_t>(port)] |= VcMask{1} << vc;
+        outOwner_[ovIdx(port, vc)] = static_cast<std::int16_t>(dest);
+    }
+
+    void
+    ovTailSent(int port, int vc)
+    {
+        FP_ASSERT((outBusy_[static_cast<std::size_t>(port)] >> vc)
+                      & VcMask{1},
+                  "tailSent on an unallocated output VC");
+        // The owner lane is intentionally retained: the VC remains a
+        // footprint VC for its destination while flits are still
+        // draining downstream (credits below bufSize).
+        outBusy_[static_cast<std::size_t>(port)] &= ~(VcMask{1} << vc);
+    }
+
+    void
+    ovConsumeCredit(int port, int vc)
+    {
+        const std::int16_t c = --outCredits_[ovIdx(port, vc)];
+        FP_ASSERT(c >= 0, "consuming a credit the VC does not have");
+        const auto p = static_cast<std::size_t>(port);
+        outFullCredit_[p] &= ~(VcMask{1} << vc);
+        if (c == 0)
+            outZeroCredit_[p] |= VcMask{1} << vc;
+    }
+
+    void
+    ovReturnCredit(int port, int vc)
+    {
+        const std::int16_t c = ++outCredits_[ovIdx(port, vc)];
+        FP_ASSERT(c <= params_.vcBufSize,
+                  "credit overflow on output VC");
+        const auto p = static_cast<std::size_t>(port);
+        outZeroCredit_[p] &= ~(VcMask{1} << vc);
+        if (c == params_.vcBufSize)
+            outFullCredit_[p] |= VcMask{1} << vc;
+    }
+
+    /** Idle = unallocated with a full downstream buffer. */
+    VcMask
+    idleMaskOf(int port) const
+    {
+        const auto p = static_cast<std::size_t>(port);
+        return outFullCredit_[p] & ~outBusy_[p];
+    }
+
+    /** Occupied = busy or any flit still draining downstream. */
+    VcMask
+    occupiedMaskOf(int port) const
+    {
+        const auto p = static_cast<std::size_t>(port);
+        return outBusy_[p] | (vcAll_ & ~outFullCredit_[p]);
+    }
+
+    /** Which VCs a new packet may claim (VC-reallocation policy). */
+    VcMask
+    allocatableMaskOf(int port, bool atomic) const
+    {
+        const auto p = static_cast<std::size_t>(port);
+        return atomic ? (outFullCredit_[p] & ~outBusy_[p])
+                      : (vcAll_ & ~outBusy_[p]);
+    }
+
     const Mesh* mesh_;
     int node_;
     RouterParams params_;
@@ -273,44 +368,40 @@ class Router : public RouterView
     std::array<int, kNumPorts> neighborNode_;
     std::int64_t cycle_ = 0;
 
-    // Per-cycle scratch state, kept as members so the per-cycle hot
-    // path performs no heap allocation.
+    VcMask vcAll_ = 0;  ///< maskOfFirst(numVcs)
+
+    // Output-VC SoA lanes (kNumPorts * numVcs, port-major).
+    std::array<VcMask, kNumPorts> outBusy_{};
+    std::array<VcMask, kNumPorts> outZeroCredit_{};
+    std::array<VcMask, kNumPorts> outFullCredit_{};
+    std::vector<std::int16_t> outCredits_;
+    std::vector<std::int16_t> outOwner_;
+
+    // Per-cycle scratch state: fixed-capacity flat tables sized at
+    // construction, so the per-cycle hot path performs no heap
+    // allocation (waiting_ / touchedOutVcs_ / destWaitTouched_ are
+    // reserved to their structural maxima up front).
     std::vector<std::pair<int, int>> waiting_;  ///< (in port, in vc)
-    std::vector<std::vector<std::pair<int, int>>>
-        vcRequesters_;              ///< [port*V+vc] -> (id, priority)
-    std::vector<int> touchedOutVcs_;
-    std::vector<int> vcRrPtr_;      ///< per-output-VC tie-break pointer
+    std::vector<int> touchedOutVcs_;  ///< out-VC ids, first-touch order
+    // Per-output-VC running best over this cycle's requesters: the
+    // highest (priority, then round-robin distance) request seen so
+    // far. A sentinel priority of -1 marks "no requester yet"; entries
+    // are reset to the sentinel as the offer pass consumes them, so
+    // the tables never need a bulk clear.
+    std::vector<std::int8_t> vaBestPri_;    ///< -1 = untouched
+    std::vector<std::int16_t> vaBestDist_;  ///< rr distance of best
+    std::vector<std::int16_t> vaBestReq_;   ///< input-VC id of best
+    std::vector<std::int16_t> vcRrPtr_;  ///< per-out-VC tie-break ptr
     std::vector<VaGrant> bestGrant_;  ///< per flattened input VC id
     std::vector<std::uint8_t>
         destConvergence_;  ///< input VCs holding flits per destination
     std::vector<int> destWaitTouched_;  ///< dests to clear next cycle
-
-    // Per-port output-VC masks, cached for the request-gathering
-    // phase of a cycle (no output VC changes state during it). The
-    // routing functions hit these masks many times per cycle, but many
-    // cycles route through only a subset of ports, so each port's
-    // masks are computed lazily on first access within the window.
-    mutable std::array<VcMask, kNumPorts> cachedIdle_{};
-    mutable std::array<VcMask, kNumPorts> cachedOccupied_{};
-    mutable std::array<VcMask, kNumPorts> cachedZeroCredit_{};
-    mutable std::array<std::uint8_t, kNumPorts> maskPortValid_{};
-    bool maskCacheValid_ = false;  ///< caching window open
-
-    void fillMaskCache(int port) const;
-    VcMask computeIdleVcMask(int port) const;
-    VcMask computeOccupiedVcMask(int port) const;
-    VcMask computeZeroCreditVcMask(int port) const;
 
     // Incrementally maintained totals backing the telemetry probes and
     // hasPendingWork() without walking every VC each cycle.
     int bufferedFlits_ = 0;  ///< flits across all input VCs
     int fifoFlits_ = 0;      ///< flits across all output FIFOs
 
-    // Per-port idle-VC count published to the status network every
-    // cycle; recomputed only after an output-VC state change on the
-    // port (credit return, allocation, credit consumption, tail).
-    mutable std::array<int, kNumPorts> statusIdleCount_{};
-    mutable std::array<std::uint8_t, kNumPorts> statusIdleDirty_{};
     /** Ports not yet re-published since their count last changed. */
     std::uint32_t publishDirty_ = 0;
 

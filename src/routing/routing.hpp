@@ -12,12 +12,16 @@
 #ifndef FOOTPRINT_ROUTING_ROUTING_HPP
 #define FOOTPRINT_ROUTING_ROUTING_HPP
 
+#include <array>
+#include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "router/flit.hpp"
 #include "router/vc_state.hpp"
+#include "sim/log.hpp"
 #include "topo/mesh.hpp"
 
 namespace footprint {
@@ -47,29 +51,47 @@ struct VcRequest
 /**
  * The set of VC requests produced by one routing invocation. The VC
  * allocator grants at most one (port, vc) from this set per packet.
+ *
+ * Storage is a fixed inline array: one invocation adds at most a
+ * handful of requests (Footprint's Algorithm 1 peaks at one escape
+ * plus a few prioritized adaptive entries), so kMaxRequests bounds
+ * every algorithm with room to spare and add() never touches the
+ * heap. This keeps the per-(input, VC) request tables the router
+ * holds allocation-free in steady state (DESIGN.md §17).
  */
 class OutputSet
 {
   public:
-    void clear() { requests_.clear(); }
+    /** Upper bound on requests per routing invocation. */
+    static constexpr std::size_t kMaxRequests = 16;
+
+    void clear() { count_ = 0; }
 
     /** Add a request; empty masks are dropped. */
     void
     add(int port, VcMask vcs, Priority priority)
     {
-        if (vcs != 0)
-            requests_.push_back(VcRequest{port, vcs, priority});
+        if (vcs != 0) {
+            FP_ASSERT(count_ < kMaxRequests,
+                      "routing invocation exceeded OutputSet capacity");
+            requests_[count_++] = VcRequest{port, vcs, priority};
+        }
     }
 
-    const std::vector<VcRequest>& requests() const { return requests_; }
-    bool empty() const { return requests_.empty(); }
+    std::span<const VcRequest>
+    requests() const
+    {
+        return {requests_.data(), count_};
+    }
+
+    bool empty() const { return count_ == 0; }
 
     /** Highest priority with which (port, vc) is requested, or none. */
     bool
     priorityFor(int port, int vc, Priority& out) const
     {
         bool found = false;
-        for (const auto& r : requests_) {
+        for (const VcRequest& r : requests()) {
             if (r.port == port && (r.vcs >> vc) & 1) {
                 if (!found || r.priority > out)
                     out = r.priority;
@@ -80,7 +102,8 @@ class OutputSet
     }
 
   private:
-    std::vector<VcRequest> requests_;
+    std::array<VcRequest, kMaxRequests> requests_{};
+    std::size_t count_ = 0;
 };
 
 /**

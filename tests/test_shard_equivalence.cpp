@@ -137,6 +137,21 @@ runSignature(const std::string& routing, double load,
         sig.push_back(c.puritySamples);
         sig.push_back(c.puritySum);
     }
+    // Link-fabric lane state: per-link sent counters and in-flight
+    // occupancy live in the network-owned flat arenas (DESIGN.md §17),
+    // so fold them in directly — any divergence in transmit order or
+    // credit return between step modes shows up here even when the
+    // aggregate totals above happen to agree.
+    const LinkFabric& fab = net.linkFabric();
+    for (const Network::LinkRecord& l : net.links()) {
+        sig.push_back(fab.flitSent(l.flitId));
+        sig.push_back(
+            static_cast<std::uint64_t>(l.flit->inFlightCount()));
+        sig.push_back(
+            static_cast<std::uint64_t>(l.credit->inFlightCount()));
+    }
+    sig.push_back(
+        static_cast<std::uint64_t>(net.nextLinkArrivalCycle()));
     return sig;
 }
 

@@ -203,6 +203,36 @@ MICRO_RESULT_FIELDS = {
 }
 
 
+def warn_build_type(path: str, doc: dict, base_path: str | None,
+                    base_doc: dict | None) -> None:
+    """Warn when either side of a comparison was built non-Release.
+
+    Checksums are build-type independent, so the gate itself still
+    runs; but cycles/sec from a Debug/RelWithDebInfo build is not
+    comparable to a Release baseline, so flag it loudly instead of
+    letting a bogus speed regression (or a masked real one) through.
+    """
+    meta = doc.get("meta", {}) or doc.get("run", {})
+    cand = meta.get("build_type")
+    if cand is not None and cand.lower() != "release":
+        print(
+            f"WARNING: {path}: candidate built as '{cand}' (not "
+            f"Release) — cycles/sec is not comparable to a Release "
+            f"baseline",
+            file=sys.stderr,
+        )
+    if base_doc is None:
+        return
+    ctx = base_doc.get("context", {})
+    base = ctx.get("library_build_type")
+    if base is not None and base.lower() != "release":
+        print(
+            f"WARNING: {base_path}: baseline recorded from a '{base}' "
+            f"build — re-pin it from a Release build",
+            file=sys.stderr,
+        )
+
+
 def micro_group(name: str) -> str:
     """Config group of a result row: 'sat16/dor@t4' -> 'sat16/dor'."""
     return name.split("@", 1)[0]
@@ -289,9 +319,11 @@ def micro_mode(args: argparse.Namespace) -> None:
     check_thread_determinism(args.micro, doc)
     print_thread_scaling(doc)
     if args.baseline is None:
+        warn_build_type(args.micro, doc, None, None)
         return
 
     base_doc = load(args.baseline)
+    warn_build_type(args.micro, doc, args.baseline, base_doc)
     baseline = base_doc.get("micro_cycle_baseline")
     if baseline is None:
         fail(f"{args.baseline}: missing key 'micro_cycle_baseline'")

@@ -23,7 +23,7 @@ PROFILE_SCHEMA = "footprint.profile/1"
 HEATMAP_SCHEMA = "footprint.heatmap/1"
 
 PHASE_NAMES = ["inject", "drain", "compute", "transmit", "epilogue",
-               "collect", "skip"]
+               "collect", "skip", "link"]
 HEATMAP_METRICS = ["link_util", "inject_util", "eject_util", "vc_occ",
                    "fp_occ", "esc_occ", "inj_backlog"]
 DIRS = ["east", "west", "north", "south"]
