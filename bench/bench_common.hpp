@@ -11,6 +11,7 @@
 #ifndef FOOTPRINT_BENCH_COMMON_HPP
 #define FOOTPRINT_BENCH_COMMON_HPP
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -95,6 +96,27 @@ saturationFromLadder(const std::vector<CurvePoint>& points)
         last_good = p.offered;
     }
     return last_good;
+}
+
+/**
+ * Wall-clock simulation speed of one run of @p cfg at offered rate
+ * @p rate, in simulated cycles per second. CurvePoint carries no
+ * timing, so size-scaling benches measure speed with one dedicated
+ * run per configuration instead of instrumenting the sweep engine.
+ */
+inline double
+measureCyclesPerSec(SimConfig cfg, double rate)
+{
+    cfg.setDouble("injection_rate", rate);
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunStats stats = runExperiment(cfg);
+    const double secs =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return secs > 0.0 && stats.cyclesRun > 0
+        ? static_cast<double>(stats.cyclesRun) / secs
+        : 0.0;
 }
 
 /** Percentage improvement of @p ours over @p base. */

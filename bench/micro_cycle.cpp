@@ -13,17 +13,21 @@
  *    (tools/check_bench_regression.py --micro) can pin the checksums
  *    exactly and watch throughput for regressions.
  *
- * A fourth operating point (sat16: a 16x16 mesh near saturation) adds
- * a thread axis: it is additionally run with step_mode=sharded at
- * threads = 1, 2, and 4, each emitted as its own "@tN" result row.
- * Every sharded checksum must equal the serial reference checksum —
- * this binary exits nonzero on any divergence, and the CI gate
- * cross-checks the rows again from the artifact — so the bench doubles
- * as the determinism gate for parallel stepping.
+ * Three further operating points add a thread axis and are
+ * additionally run with step_mode=sharded, each thread count emitted
+ * as its own "@tN" result row: sat16 (16x16 near saturation, threads
+ * 1/2/4 — its row names predate the 8-worker axis and stay frozen)
+ * and the big-mesh points sat32 (32x32, 1024 nodes) and big64 (64x64,
+ * 4096 nodes), both past saturation at threads 1/2/4/8. Every sharded
+ * checksum must equal the serial reference checksum — this binary
+ * exits nonzero on any divergence, and the CI gate cross-checks the
+ * rows again from the artifact — so the bench doubles as the
+ * determinism gate for parallel stepping.
  *
  * Every point also runs with the event-horizon fast path enabled
  * (DESIGN.md §16), emitted as an "@skip" row (activity stepping) and,
- * on the thread-axis point, an "@t4skip" row (sharded at 4 threads).
+ * on the thread-axis points, an "@tNskip" row (sharded at the point's
+ * largest thread count: t4 for sat16, t8 for the big meshes).
  * Injection is schedule-driven (InjectionSchedule draws geometric
  * inter-arrival gaps, consuming RNG only at fire events), so the
  * traffic is identical whether idle spans are ticked or jumped — the
@@ -31,7 +35,7 @@
  * enforced both here (nonzero exit) and by the CI gate (rows sharing
  * a base name modulo '@...' must agree).
  *
- * Usage: micro_cycle [--cycles N] [--out FILE]
+ * Usage: micro_cycle [--cycles N] [--out FILE] [--point NAME]
  *                    [--profile [--profile-out FILE]]
  *
  * The JSON artifact is a footprint.bench/1 document with
@@ -54,6 +58,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <execinfo.h>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -80,12 +85,27 @@
 namespace {
 std::atomic<bool> g_countAllocs{false};
 std::atomic<std::uint64_t> g_heapAllocs{0};
+/**
+ * Debug aid: with FP_ALLOC_TRAP set in the environment, the first
+ * counted allocation of a *serial* measured run prints a backtrace
+ * and aborts, so a zero-allocation regression pinpoints its caller
+ * instead of just failing the gate. (Sharded runs are excluded: the
+ * thread pool's task dispatch allocates by design.)
+ */
+std::atomic<bool> g_trapAllocs{false};
 
 void*
 countedAlloc(std::size_t n)
 {
-    if (g_countAllocs.load(std::memory_order_relaxed))
+    if (g_countAllocs.load(std::memory_order_relaxed)) {
         g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+        if (g_trapAllocs.load(std::memory_order_relaxed)) {
+            void* frames[16];
+            const int depth = ::backtrace(frames, 16);
+            ::backtrace_symbols_fd(frames, depth, 2);
+            std::abort();
+        }
+    }
     if (void* p = std::malloc(n != 0 ? n : 1))
         return p;
     throw std::bad_alloc();
@@ -148,19 +168,34 @@ struct OperatingPoint
      * task dispatch may allocate outside the simulator proper.
      */
     bool saturated;
+    /**
+     * Largest kThreadCounts entry this point shards at; the trailing
+     * "@tNskip" row runs at this count too. sat16 stays capped at 4
+     * so its historical row names (through "@t4skip") are stable; the
+     * big-mesh points exercise the 8-worker axis.
+     */
+    int maxThreads;
+    /** --profile mode runs only the points with this flag. */
+    bool profileAxis;
 };
 
 constexpr OperatingPoint kPoints[] = {
-    {"idle", 8, 8, 0.0, 1.0, false, false},
-    {"low", 8, 8, 0.10, 1.0, false, false},
-    {"sat", 8, 8, 0.45, 1.0, false, true},
-    {"sat16", 16, 16, 0.25, 0.4, true, true},
+    {"idle", 8, 8, 0.0, 1.0, false, false, 1, false},
+    {"low", 8, 8, 0.10, 1.0, false, false, 1, false},
+    {"sat", 8, 8, 0.45, 1.0, false, true, 1, false},
+    {"sat16", 16, 16, 0.25, 0.4, true, true, 4, true},
+    // Big-mesh operating points: 1024 and 4096 nodes past their
+    // uniform-DOR saturation loads (~4/k flits/node/cycle), with the
+    // cycle budget scaled so each point costs about as much wall time
+    // as sat16 despite the node count.
+    {"sat32", 32, 32, 0.15, 0.12, true, true, 8, false},
+    {"big64", 64, 64, 0.08, 0.03, true, true, 8, false},
 };
 
 constexpr const char* kRoutings[] = {"dor", "oddeven", "dbar",
                                      "footprint"};
 
-constexpr int kThreadCounts[] = {1, 2, 4};
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
 
 constexpr std::uint64_t kSeed = 7;
 
@@ -257,6 +292,8 @@ runOne(const std::string& routing, const OperatingPoint& pt,
     bool counting = false;
     std::int64_t count_from = 0;
     std::uint64_t allocs_at_arm = 0;
+    const bool trap = std::getenv("FP_ALLOC_TRAP") != nullptr
+        && std::strcmp(step_mode, "sharded") != 0;
 
     const auto t0 = std::chrono::steady_clock::now();
     for (std::int64_t cycle = 0; cycle < cycles; ++cycle) {
@@ -265,6 +302,7 @@ runOne(const std::string& routing, const OperatingPoint& pt,
             count_from = cycle;
             allocs_at_arm =
                 g_heapAllocs.load(std::memory_order_relaxed);
+            g_trapAllocs.store(trap, std::memory_order_relaxed);
             g_countAllocs.store(true, std::memory_order_relaxed);
         }
         if (sched) {
@@ -310,6 +348,7 @@ runOne(const std::string& routing, const OperatingPoint& pt,
     std::uint64_t steady_allocs = 0;
     if (counting) {
         g_countAllocs.store(false, std::memory_order_relaxed);
+        g_trapAllocs.store(false, std::memory_order_relaxed);
         steady_allocs =
             g_heapAllocs.load(std::memory_order_relaxed)
             - allocs_at_arm;
@@ -347,6 +386,7 @@ struct ResultRow
 {
     std::string name;
     std::string routing;
+    std::string topology = "mesh";  ///< every micro point is a mesh
     std::string mode;               ///< "activity" or "sharded"
     int threads = 1;
     double load = 0.0;
@@ -384,16 +424,18 @@ writeJson(std::ostream& os, const std::vector<ResultRow>& rows,
         const ResultRow& r = rows[i];
         if (i > 0)
             os << ',';
-        char buf[320];
+        char buf[384];
         std::snprintf(
             buf, sizeof(buf),
-            "{\"name\":\"%s\",\"routing\":\"%s\",\"mode\":\"%s\","
+            "{\"name\":\"%s\",\"routing\":\"%s\","
+            "\"topology\":\"%s\",\"mode\":\"%s\","
             "\"threads\":%d,\"load\":%.2f,"
             "\"cycles\":%lld,\"wall_seconds\":%.6f,"
             "\"cycles_per_sec\":%.1f,\"full_cycles_per_sec\":%.1f,"
             "\"speedup\":%.3f,\"allocs_per_cycle\":%.6f,"
             "\"checksum\":\"%s\"}",
-            r.name.c_str(), r.routing.c_str(), r.mode.c_str(),
+            r.name.c_str(), r.routing.c_str(), r.topology.c_str(),
+            r.mode.c_str(),
             r.threads, r.load, static_cast<long long>(r.cycles),
             r.wallSeconds, r.cyclesPerSec, r.fullCyclesPerSec,
             r.fullCyclesPerSec > 0.0
@@ -501,7 +543,7 @@ runProfileMode(std::int64_t cycles, const std::string& out_path)
     std::vector<std::string> rows;
     SimConfig meta_cfg = defaultConfig();
     for (const OperatingPoint& pt : kPoints) {
-        if (!pt.threadAxis)
+        if (!pt.profileAxis)
             continue;
         const auto pt_cycles = static_cast<std::int64_t>(
             static_cast<double>(cycles) * pt.cycleScale);
@@ -529,6 +571,8 @@ runProfileMode(std::int64_t cycles, const std::string& out_path)
             printProfileRow(base, act_prof);
 
             for (const int threads : kThreadCounts) {
+                if (threads > pt.maxThreads)
+                    continue;
                 Profiler prof;
                 const RunOutcome sharded =
                     runOne(routing, pt, pt_cycles, "sharded", threads,
@@ -570,6 +614,7 @@ run(int argc, char** argv)
     std::int64_t cycles = 5000;
     std::string out_path;
     std::string profile_out = "micro_profile.json";
+    std::string only_point;
     bool profile = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
@@ -577,6 +622,9 @@ run(int argc, char** argv)
         } else if (std::strcmp(argv[i], "--out") == 0
                    && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--point") == 0
+                   && i + 1 < argc) {
+            only_point = argv[++i];
         } else if (std::strcmp(argv[i], "--profile") == 0) {
             profile = true;
         } else if (std::strcmp(argv[i], "--profile-out") == 0
@@ -585,7 +633,7 @@ run(int argc, char** argv)
         } else {
             std::fprintf(stderr,
                          "usage: micro_cycle [--cycles N] "
-                         "[--out FILE] [--profile "
+                         "[--out FILE] [--point NAME] [--profile "
                          "[--profile-out FILE]]\n");
             return 2;
         }
@@ -599,6 +647,9 @@ run(int argc, char** argv)
     std::printf("%-20s %12s %12s %8s  %s\n", "config",
                 "full c/s", "mode c/s", "speedup", "checksum");
     for (const OperatingPoint& pt : kPoints) {
+        // --point: run a single operating point (CI smoke jobs).
+        if (!only_point.empty() && only_point != pt.name)
+            continue;
         const auto pt_cycles = static_cast<std::int64_t>(
             static_cast<double>(cycles) * pt.cycleScale);
         for (const char* routing : kRoutings) {
@@ -643,6 +694,8 @@ run(int argc, char** argv)
             if (!pt.threadAxis)
                 continue;
             for (const int threads : kThreadCounts) {
+                if (threads > pt.maxThreads)
+                    continue;
                 const RunOutcome sharded = runOne(
                     routing, pt, pt_cycles, "sharded", threads);
                 if (sharded.checksum != full.checksum) {
@@ -662,8 +715,9 @@ run(int argc, char** argv)
                     threads, pt_cycles, sharded, full));
                 printRow(rows.back());
             }
-            const RunOutcome sharded_skip = runOne(
-                routing, pt, pt_cycles, "sharded", 4, true);
+            const RunOutcome sharded_skip =
+                runOne(routing, pt, pt_cycles, "sharded",
+                       pt.maxThreads, true);
             if (sharded_skip.checksum != full.checksum) {
                 std::fprintf(
                     stderr,
@@ -675,9 +729,11 @@ run(int argc, char** argv)
                     hex64(full.checksum).c_str());
                 return 1;
             }
-            rows.push_back(makeRow(pt, routing, base + "@t4skip",
-                                   "sharded", 4, pt_cycles,
-                                   sharded_skip, full));
+            rows.push_back(makeRow(
+                pt, routing,
+                base + "@t" + std::to_string(pt.maxThreads) + "skip",
+                "sharded", pt.maxThreads, pt_cycles, sharded_skip,
+                full));
             printRow(rows.back());
         }
     }

@@ -21,6 +21,13 @@ Endpoint::Endpoint(int node, const EndpointParams& params,
     sinkVcs_.resize(static_cast<std::size_t>(params.numVcs));
     for (auto& buf : sinkVcs_)
         buf.reset(static_cast<std::size_t>(params.vcBufSize));
+    // At most ejectionRate tails leave per cycle and drivers drain
+    // every cycle; reserving a few cycles' worth up front keeps the
+    // first ejection at a far-away endpoint from allocating inside the
+    // steady-state measurement window (DESIGN.md §17).
+    const auto burst = static_cast<std::size_t>(params.ejectionRate);
+    ejected_.reserve(4 * burst + 4);
+    pendingRelease_.reserve(4 * burst + 4);
 }
 
 void

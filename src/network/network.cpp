@@ -1,5 +1,6 @@
 #include "network/network.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "obs/profiler.hpp"
@@ -29,8 +30,7 @@ StatusBoard::idleCount(int node, int port) const
 }
 
 Network::Network(const SimConfig& cfg)
-    : mesh_(static_cast<int>(cfg.getInt("mesh_width")),
-            static_cast<int>(cfg.getInt("mesh_height")))
+    : topo_(Topology::fromConfig(cfg))
 {
     params_.numVcs = static_cast<int>(cfg.getInt("num_vcs"));
     params_.vcBufSize = static_cast<int>(cfg.getInt("vc_buf_size"));
@@ -42,6 +42,23 @@ Network::Network(const SimConfig& cfg)
     routing_ = makeRoutingAlgorithm(cfg.getStr("routing"), cfg);
     if (routing_->numEscapeVcs() >= params_.numVcs)
         fatal("routing algorithm needs more VCs than configured");
+    if (topo_.hasWrap()) {
+        // Wrapped topologies break deadlock cycles with dateline VC
+        // classes, which only plain dimension-order routing honours;
+        // the adaptive algorithms' escape/turn arguments assume an
+        // acyclic mesh channel graph.
+        if (routing_->name() != "dor") {
+            std::string msg = "topology '";
+            msg += topo_.kindName();
+            msg += "' supports routing=dor only (dateline VC "
+                   "deadlock avoidance); got routing=";
+            msg += routing_->name();
+            fatal(msg);
+        }
+        if (params_.numVcs < 2)
+            fatal("torus/ring DOR needs num_vcs >= 2 for the two "
+                  "dateline VC classes");
+    }
 
     const std::string mode =
         cfg.contains("step_mode") ? cfg.getStr("step_mode") : "activity";
@@ -71,9 +88,8 @@ Network::Network(const SimConfig& cfg)
     if (shard_cfg < 0)
         fatal("shards must be >= 0 (0 = one per thread)");
 
-    const int n = mesh_.numNodes();
+    const int n = topo_.numNodes();
     const auto seed = static_cast<std::uint64_t>(cfg.getInt("seed"));
-    const int link_latency = static_cast<int>(cfg.getInt("link_latency"));
 
     status_.init(n);
     nodeOutChannels_.resize(static_cast<std::size_t>(n));
@@ -91,7 +107,7 @@ Network::Network(const SimConfig& cfg)
     endpoints_.reserve(static_cast<std::size_t>(n));
     for (int node = 0; node < n; ++node) {
         routers_.push_back(std::make_unique<Router>(
-            mesh_, node, params_, routing_.get(), seed, &status_));
+            topo_, node, params_, routing_.get(), seed, &status_));
         endpoints_.push_back(
             std::make_unique<Endpoint>(node, ep, seed, &pool_));
         endpoints_.back()->setWakeHook(&active_, endpointComp(node));
@@ -121,9 +137,9 @@ Network::Network(const SimConfig& cfg)
     plans.reserve(static_cast<std::size_t>(6 * n));
     for (int node = 0; node < n; ++node) {
         for (Dir d : {Dir::East, Dir::North}) {
-            if (!mesh_.hasNeighbor(node, d))
+            if (!topo_.hasNeighbor(node, d))
                 continue;
-            const int nbr = mesh_.neighbor(node, d);
+            const int nbr = topo_.neighbor(node, d);
             const Dir rd = opposite(d);
             plans.push_back({LinkRecord::Kind::RouterToRouter, node,
                              portOf(d), nbr, portOf(rd)});
@@ -173,6 +189,13 @@ Network::Network(const SimConfig& cfg)
     std::vector<LinkFabric::Spec> credit_specs(nl);
     for (std::size_t i = 0; i < nl; ++i) {
         const LinkPlan& p = plans[i];
+        // Per-dimension latencies come from the topology: a link's
+        // dimension is its source-side direction (endpoint links are
+        // Local). The credit channel shares its link's latency.
+        const int link_latency = topo_.linkLatency(
+            p.kind == LinkRecord::Kind::RouterToRouter
+                ? dirOf(p.srcPort)
+                : Dir::Local);
         flit_specs[flit_id[i]] = {p.srcNode, link_latency, 1};
         const int credit_rate =
             p.kind == LinkRecord::Kind::RouterToEndpoint
@@ -224,28 +247,91 @@ Network::Network(const SimConfig& cfg)
     }
 
     buildWakeGraph();
-    if (stepMode_ == StepMode::Sharded)
-        buildShards(threads_, shard_cfg);
+    if (stepMode_ == StepMode::Sharded) {
+        const std::string policy = cfg.contains("shard_partition")
+            ? cfg.getStr("shard_partition")
+            : "weighted";
+        buildShards(threads_, shard_cfg, policy);
+    }
 }
 
 void
-Network::buildShards(int threads, int shards)
+Network::buildShards(int threads, int shards,
+                     const std::string& policy)
 {
-    const int n = mesh_.numNodes();
+    const int n = topo_.numNodes();
     int num = shards == 0 ? threads : shards;
     if (num > n)
         num = n;
-    // Partition the row-major node space into near-equal contiguous
-    // bands. Row-major ids make a band a set of adjacent rows (plus
-    // partial rows at the seams), so most links stay shard-internal.
-    // A shard owns both the routers and the endpoints of its band:
-    // component ids 2k/2k+1 keep each node's pair in one shard.
+    // Partition the row-major node space into contiguous bands. Row-
+    // major ids make a band a set of adjacent rows (plus partial rows
+    // at the seams), so most links stay shard-internal. A shard owns
+    // both the routers and the endpoints of its band: component ids
+    // 2k/2k+1 keep each node's pair in one shard.
+    //
+    // Band boundaries (shard_partition key; deterministic from config
+    // alone — results are bit-identical either way, only wall time
+    // differs):
+    //  - "nodes":    near-equal node counts (the historic split),
+    //  - "weighted": near-equal per-node work estimates. Edge and
+    //    corner routers have fewer connected ports, hence fewer
+    //    channels to drain and arbitrate; the PR 6 profiler's
+    //    per-shard busy times show interior bands running long under
+    //    equal node counts. The static weight (2 + link degree)
+    //    mirrors that measured imbalance without feeding timing back
+    //    into partition selection.
+    std::vector<int> begin(static_cast<std::size_t>(num) + 1, 0);
+    begin[static_cast<std::size_t>(num)] = n;
+    if (policy == "nodes" || num == 1) {
+        for (int s = 1; s < num; ++s)
+            begin[static_cast<std::size_t>(s)] = static_cast<int>(
+                static_cast<std::int64_t>(s) * n / num);
+    } else if (policy == "weighted") {
+        std::vector<std::int64_t> pfx(static_cast<std::size_t>(n) + 1,
+                                      0);
+        for (int node = 0; node < n; ++node) {
+            std::int64_t wgt = 2; // endpoint + router baseline
+            for (Dir d :
+                 {Dir::East, Dir::West, Dir::North, Dir::South}) {
+                if (topo_.hasNeighbor(node, d))
+                    ++wgt;
+            }
+            pfx[static_cast<std::size_t>(node) + 1] =
+                pfx[static_cast<std::size_t>(node)] + wgt;
+        }
+        const std::int64_t total = pfx[static_cast<std::size_t>(n)];
+        for (int s = 1; s < num; ++s) {
+            const std::int64_t target = s * total / num;
+            // First node whose prefix weight reaches the target,
+            // clamped so every band keeps at least one node.
+            int b = static_cast<int>(
+                std::lower_bound(pfx.begin(), pfx.end(), target)
+                - pfx.begin());
+            b = std::max(b, begin[static_cast<std::size_t>(s - 1)] + 1);
+            b = std::min(b, n - (num - s));
+            begin[static_cast<std::size_t>(s)] = b;
+        }
+    } else {
+        fatal("unknown shard_partition '" + policy
+              + "' (want weighted or nodes)");
+    }
+    // Round interior boundaries to 32-node multiples — 64 components,
+    // exactly one ActiveSet bitmap word — so concurrent drainRange
+    // calls of neighboring shards never split a word (the fetch_and
+    // boundary-word path) and never share a cache line. Skipped when
+    // rounding would empty a band (tiny meshes / many shards).
+    for (int s = 1; s < num; ++s) {
+        const int b = begin[static_cast<std::size_t>(s)];
+        const int r = (b / 32 + (b % 32 >= 16 ? 1 : 0)) * 32;
+        if (r > begin[static_cast<std::size_t>(s - 1)]
+            && r < begin[static_cast<std::size_t>(s) + 1]
+            && r <= n - (num - s))
+            begin[static_cast<std::size_t>(s)] = r;
+    }
     shards_.resize(static_cast<std::size_t>(num));
     for (int s = 0; s < num; ++s) {
-        const int nodeBegin =
-            static_cast<int>(static_cast<std::int64_t>(s) * n / num);
-        const int nodeEnd = static_cast<int>(
-            static_cast<std::int64_t>(s + 1) * n / num);
+        const int nodeBegin = begin[static_cast<std::size_t>(s)];
+        const int nodeEnd = begin[static_cast<std::size_t>(s) + 1];
         shards_[static_cast<std::size_t>(s)].compBegin = 2 * nodeBegin;
         shards_[static_cast<std::size_t>(s)].compEnd = 2 * nodeEnd;
         shards_[static_cast<std::size_t>(s)].active.reserve(
@@ -262,7 +348,7 @@ Network::buildShards(int threads, int shards)
 void
 Network::buildWakeGraph()
 {
-    const int comps = 2 * mesh_.numNodes();
+    const int comps = 2 * topo_.numNodes();
     active_.init(comps);
     for (const LinkRecord& l : links_) {
         int flit_src = -1;
@@ -778,7 +864,7 @@ Network::attachTelemetry(TelemetryHub& hub)
     if (!hub.samplingEnabled())
         return;
 
-    const int n = mesh_.numNodes();
+    const int n = topo_.numNodes();
 
     // Network-wide aggregates.
     hub.addChannel("net.flits_in_flight", ChannelKind::Gauge,

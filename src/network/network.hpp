@@ -23,7 +23,7 @@
 #include "router/packet_pool.hpp"
 #include "router/router.hpp"
 #include "sim/config.hpp"
-#include "topo/mesh.hpp"
+#include "topo/topology.hpp"
 
 namespace footprint {
 
@@ -125,7 +125,10 @@ class Network
     PacketPool& packetPool() { return pool_; }
     const PacketPool& packetPool() const { return pool_; }
 
-    const Mesh& mesh() const { return mesh_; }
+    /** The topology this network was built from (DESIGN.md §18). */
+    const Topology& topology() const { return topo_; }
+    /** The topology's coordinate grid (row-major node numbering). */
+    const Mesh& mesh() const { return topo_.grid(); }
     const RoutingAlgorithm& routing() const { return *routing_; }
     const RouterParams& routerParams() const { return params_; }
 
@@ -222,7 +225,8 @@ class Network
     static int endpointComp(int node) { return 2 * node + 1; }
 
     void buildWakeGraph();
-    void buildShards(int threads, int shards);
+    void buildShards(int threads, int shards,
+                     const std::string& policy);
     bool componentHasPendingWork(int comp) const;
     void phaseReceive(const std::vector<int>& comps,
                       std::int64_t cycle);
@@ -243,7 +247,7 @@ class Network
     int chunkOf(std::size_t sBegin) const;
     void barrierArrive(int chunk);
 
-    Mesh mesh_;
+    Topology topo_;
     RouterParams params_;
     std::unique_ptr<RoutingAlgorithm> routing_;
     StatusBoard status_;

@@ -110,8 +110,13 @@ RunStats
 TrafficManager::run()
 {
     Network net(cfg_);
+    const Topology& topo = net.topology();
     const Mesh& mesh = net.mesh();
     const int n = mesh.numNodes();
+    // Synthetic patterns inject per *terminal*: on mesh/torus/ring a
+    // terminal is a node, on a cmesh each router hosts `concentration`
+    // terminals sharing its endpoint.
+    const int num_terminals = topo.numTerminals();
 
     // Telemetry: an externally attached hub wins; otherwise build one
     // from the config's telemetry_* keys when they enable anything.
@@ -259,9 +264,9 @@ TrafficManager::run()
                 static_cast<int>(bg_nodes.size()),
                 bg_rate / size_dist.mean(), gen);
     } else {
-        pattern = makeTrafficPattern(mode, mesh);
+        pattern = makeTrafficPattern(mode, topo);
         sched = std::make_unique<InjectionSchedule>(
-            n, rate / size_dist.mean(), gen);
+            num_terminals, rate / size_dist.mean(), gen);
     }
 
     std::uint64_t next_packet_id = 1;
@@ -350,12 +355,17 @@ TrafficManager::run()
                 }
             }
         } else {
+            // Slots are terminals; packets travel router-to-router, so
+            // map terminal ids down before enqueueing (identity when
+            // concentration == 1). Intra-router cmesh traffic injects
+            // with src == dest and turns around at the local port.
             for (int slot; (slot = sched->popDue(cycle)) >= 0;) {
                 const int dest = pattern->dest(slot, gen);
                 const int size = size_dist.sample(gen);
                 sched->scheduleNext(slot, cycle, gen);
                 if (dest >= 0) {
-                    make_packet(slot, dest, size, cycle,
+                    make_packet(topo.terminalRouter(slot),
+                                topo.terminalRouter(dest), size, cycle,
                                 FlowClass::Background, measuring);
                 }
             }
@@ -634,10 +644,13 @@ TrafficManager::run()
         }
     }
     if (measure > 0 && flits_at_measure_end >= flits_at_measure_start) {
+        // Normalized per terminal (== per node except on a cmesh), the
+        // same basis as the offered rate.
         stats.acceptedFlitsPerNodeCycle =
             static_cast<double>(flits_at_measure_end
                                 - flits_at_measure_start)
-            / (static_cast<double>(n) * static_cast<double>(measure));
+            / (static_cast<double>(num_terminals)
+               * static_cast<double>(measure));
     }
 
     if (prof) {

@@ -195,7 +195,11 @@ class PacketPool
     }
 
   private:
-    struct Segment
+    // One cache line per segment header: under sharded stepping each
+    // worker allocates/releases only from its own nodes' segments, so
+    // padding the headers apart keeps the vector bookkeeping of
+    // neighboring segments from false-sharing at 4096-node scale.
+    struct alignas(64) Segment
     {
         std::vector<PacketDescriptor> slots;
         std::vector<std::uint32_t> freeIdx;

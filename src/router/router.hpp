@@ -20,7 +20,7 @@
 #include "routing/routing.hpp"
 #include "sim/log.hpp"
 #include "sim/rng.hpp"
-#include "topo/mesh.hpp"
+#include "topo/topology.hpp"
 
 namespace footprint {
 
@@ -108,7 +108,7 @@ class Router : public RouterView
         void reset() { *this = Counters{}; }
     };
 
-    Router(const Mesh& mesh, int node, const RouterParams& params,
+    Router(const Topology& topo, int node, const RouterParams& params,
            const RoutingAlgorithm* routing, std::uint64_t seed,
            const StatusProvider* status);
 
@@ -139,7 +139,7 @@ class Router : public RouterView
 
     // RouterView interface.
     int nodeId() const override { return node_; }
-    const Mesh& mesh() const override { return *mesh_; }
+    const Topology& topo() const override { return *topo_; }
     int numVcs() const override { return params_.numVcs; }
     int vcBufSize() const override { return params_.vcBufSize; }
     VcMask idleVcMask(int port) const override;
@@ -356,7 +356,7 @@ class Router : public RouterView
                       : (vcAll_ & ~outBusy_[p]);
     }
 
-    const Mesh* mesh_;
+    const Topology* topo_;
     int node_;
     RouterParams params_;
     const RoutingAlgorithm* routing_;

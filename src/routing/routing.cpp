@@ -26,6 +26,30 @@ dorDir(const Mesh& mesh, int cur, int dest)
     return Dir::Local;
 }
 
+Dir
+dorDir(const Topology& topo, int cur, int dest)
+{
+    if (!topo.hasWrap())
+        return dorDir(topo.grid(), cur, dest);
+    const Coord cc = topo.coordOf(cur);
+    const Coord cd = topo.coordOf(dest);
+    if (cd.x != cc.x) {
+        if (!topo.wrapX())
+            return cd.x > cc.x ? Dir::East : Dir::West;
+        const int w = topo.width();
+        const int east = (cd.x - cc.x + w) % w;
+        return east <= w - east ? Dir::East : Dir::West;
+    }
+    if (cd.y != cc.y) {
+        if (!topo.wrapY())
+            return cd.y > cc.y ? Dir::North : Dir::South;
+        const int h = topo.height();
+        const int north = (cd.y - cc.y + h) % h;
+        return north <= h - north ? Dir::North : Dir::South;
+    }
+    return Dir::Local;
+}
+
 namespace {
 
 std::unique_ptr<RoutingAlgorithm>

@@ -22,7 +22,7 @@
 #include "router/flit.hpp"
 #include "router/vc_state.hpp"
 #include "sim/log.hpp"
-#include "topo/mesh.hpp"
+#include "topo/topology.hpp"
 
 namespace footprint {
 
@@ -118,8 +118,15 @@ class RouterView
     virtual ~RouterView() = default;
 
     virtual int nodeId() const = 0;
-    virtual const Mesh& mesh() const = 0;
+    virtual const Topology& topo() const = 0;
     virtual int numVcs() const = 0;
+
+    /**
+     * The coordinate grid of the topology — the query surface of the
+     * mesh-only adaptive algorithms (odd-even, DBAR, Footprint),
+     * which are rejected at configuration time on wrapped topologies.
+     */
+    const Mesh& mesh() const { return topo().grid(); }
     virtual int vcBufSize() const = 0;
 
     /** Mask of fully idle output VCs on @p port. */
@@ -206,6 +213,13 @@ std::vector<std::string> allRoutingAlgorithmNames();
 
 /** Dimension-order (XY) output port from @p cur to @p dest. */
 Dir dorDir(const Mesh& mesh, int cur, int dest);
+
+/**
+ * Dimension-order (XY) output port on an arbitrary topology: on
+ * wrapped dimensions the shorter way around wins (ties go East /
+ * North), matching Topology::minimalDirsInto.
+ */
+Dir dorDir(const Topology& topo, int cur, int dest);
 
 } // namespace footprint
 

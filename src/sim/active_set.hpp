@@ -35,6 +35,7 @@
 #include <bit>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <vector>
 
 namespace footprint {
@@ -48,8 +49,12 @@ class ActiveSet
     {
         n_ = num_components;
         nwords_ = static_cast<std::size_t>((num_components + 63) / 64);
-        words_ =
-            std::make_unique<std::atomic<std::uint64_t>[]>(nwords_);
+        // Cache-line-aligned word array: shard partition boundaries
+        // round to whole words (64 components = 32 nodes), so with
+        // the base aligned too, neighboring shards' drainRange
+        // exchanges never touch the same cache line.
+        words_.reset(new (std::align_val_t{64})
+                         std::atomic<std::uint64_t>[nwords_]);
         for (std::size_t i = 0; i < nwords_; ++i)
             words_[i].store(0, std::memory_order_relaxed);
         active_.clear();
@@ -152,9 +157,20 @@ class ActiveSet
     }
 
   private:
+    /** Deleter matching the over-aligned array new in init(). */
+    struct AlignedDelete
+    {
+        void
+        operator()(std::atomic<std::uint64_t>* p) const
+        {
+            ::operator delete[](p, std::align_val_t{64});
+        }
+    };
+
     int n_ = 0;
     std::size_t nwords_ = 0;
-    std::unique_ptr<std::atomic<std::uint64_t>[]> words_;  ///< pending
+    /** Pending bitmap, 64-byte aligned. */
+    std::unique_ptr<std::atomic<std::uint64_t>[], AlignedDelete> words_;
     std::vector<int> active_;  ///< this cycle's list (beginCycle)
 };
 

@@ -18,10 +18,11 @@ namespace {
  * compatibility), but warnUnknownKeys() flags keys outside this list.
  */
 constexpr std::array kKnownKeys = {
-    // Topology and router microarchitecture.
-    "mesh_width", "mesh_height", "num_vcs", "vc_buf_size",
-    "internal_speedup", "link_latency", "output_fifo_size",
-    "ejection_rate",
+    // Topology and router microarchitecture (DESIGN.md §18).
+    "topology", "mesh_width", "mesh_height", "concentration",
+    "num_vcs", "vc_buf_size", "internal_speedup", "link_latency",
+    "link_latency_x", "link_latency_y", "link_latency_local",
+    "output_fifo_size", "ejection_rate",
     // Routing.
     "routing", "fp_vc_cap", "fp_variant", "fp_converge_threshold",
     "congestion_threshold", "dbar_use_remote",
@@ -30,7 +31,8 @@ constexpr std::array kKnownKeys = {
     "trace_file", "trace_length", "app", "app2",
     // Simulation phases / execution.
     "warmup_cycles", "measure_cycles", "drain_cycles", "seed",
-    "step_mode", "threads", "shards", "skip_ahead",
+    "step_mode", "threads", "shards", "shard_partition",
+    "skip_ahead",
     // Telemetry.
     "telemetry_out", "telemetry_format", "sample_interval",
     "telemetry_per_router", "trace_out", "trace_packets",
@@ -288,9 +290,11 @@ SimConfig
 defaultConfig()
 {
     SimConfig cfg;
-    // Topology (Table 2 defaults).
+    // Topology (Table 2 defaults; DESIGN.md §18 for the other kinds).
+    cfg.set("topology", "mesh"); // or torus, cmesh, ring
     cfg.setInt("mesh_width", 8);
     cfg.setInt("mesh_height", 8);
+    cfg.setInt("concentration", 1); // terminals/router (cmesh only)
     // Router microarchitecture.
     cfg.setInt("num_vcs", 10);
     cfg.setInt("vc_buf_size", 4);
@@ -319,6 +323,10 @@ defaultConfig()
     cfg.set("step_mode", "activity");
     cfg.setInt("threads", 1);
     cfg.setInt("shards", 0);
+    // Shard band boundaries: "weighted" sizes bands by per-node link
+    // degree (edge rows are cheaper than interior rows), "nodes" is
+    // the historic equal-node split. Bit-identical either way.
+    cfg.set("shard_partition", "weighted");
     // Event-horizon fast path: jump the clock over quiescent spans
     // (bit-identical results; skip_ahead=false forces per-cycle
     // ticking, mainly for equivalence tests and benchmarks).

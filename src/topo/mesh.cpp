@@ -42,8 +42,10 @@ dirName(Dir d)
 
 Mesh::Mesh(int width, int height) : width_(width), height_(height)
 {
-    if (width < 2 || height < 2)
-        fatal("mesh must be at least 2x2");
+    // 1-D grids (N x 1 / 1 x N) back the ring topology; anything with
+    // fewer than two nodes has no links to route over.
+    if (width < 1 || height < 1 || width * height < 2)
+        fatal("mesh must have at least 2 nodes");
 }
 
 int

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Explicit topology layer: connectivity as flat forward/reverse port
+ * maps plus per-dimension link latencies, built once and queried by
+ * Network construction, routing, and shard partitioning.
+ *
+ * Four builders share the 5-port (E/W/N/S/Local) router model:
+ *  - mesh:  the paper's k x k mesh (identity with the historic path),
+ *  - torus: mesh plus x/y wraparound links (DOR + dateline VCs only),
+ *  - cmesh: mesh with `concentration` terminals per router sharing
+ *    the router's local port,
+ *  - ring:  an N x 1 wrapped row (DOR + dateline VCs only).
+ *
+ * The underlying row-major coordinate grid stays a Mesh (grid()), so
+ * mesh-only adaptive algorithms (odd-even, DBAR, Footprint) keep
+ * their exact historical queries; wrap-aware code paths go through
+ * the Topology queries instead.
+ */
+
+#ifndef FOOTPRINT_TOPO_TOPOLOGY_HPP
+#define FOOTPRINT_TOPO_TOPOLOGY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/mesh.hpp"
+
+namespace footprint {
+
+class SimConfig;
+
+/** Topology family of a network instance. */
+enum class TopologyKind : int {
+    Mesh = 0,
+    Torus = 1,
+    CMesh = 2,
+    Ring = 3,
+};
+
+/** Name accepted by the `topology` config key ("mesh", "torus", ...). */
+const char* topologyKindName(TopologyKind kind);
+
+/**
+ * One end of a directed link: input/output @p port of router @p node.
+ * {-1, -1} marks "no link" (a mesh edge port).
+ */
+struct PortRef
+{
+    int node = -1;
+    int port = -1;
+
+    bool operator==(const PortRef&) const = default;
+    bool valid() const { return node >= 0; }
+};
+
+/**
+ * An immutable description of the network's shape: which router ports
+ * connect where (flat forward/reverse maps), how many cycles each
+ * link takes per dimension, and how endpoint terminals map onto
+ * routers under concentration.
+ *
+ * Forward map: forward(n, p) is the (node, input port) that receives
+ * what router n transmits on output port p. Reverse map: reverse(n, p)
+ * is the (node, output port) that feeds router n's input port p. The
+ * two are inverses of each other by construction; the Local port maps
+ * a router to its own endpoint ({n, Local} on both sides).
+ */
+class Topology
+{
+  public:
+    /** Plain w x h mesh; identical connectivity to Mesh itself. */
+    static Topology mesh(int width, int height);
+
+    /** w x h torus (x and y wraparound); requires w, h >= 3. */
+    static Topology torus(int width, int height);
+
+    /** Concentrated mesh: @p concentration terminals per router. */
+    static Topology cmesh(int width, int height, int concentration);
+
+    /** N-node wrapped row (grid N x 1); requires n >= 3. */
+    static Topology ring(int nodes);
+
+    /**
+     * Build from config keys: `topology` (default "mesh"),
+     * `mesh_width`/`mesh_height`, `concentration`, and the link
+     * latencies `link_latency` (both dims), `link_latency_x`,
+     * `link_latency_y`, `link_latency_local` (dimension overrides).
+     * fatal() on unknown names or invalid (topology, key) combos.
+     */
+    static Topology fromConfig(const SimConfig& cfg);
+
+    TopologyKind kind() const { return kind_; }
+    const char* kindName() const { return topologyKindName(kind_); }
+
+    /** The row-major coordinate grid (mesh-only algorithm queries). */
+    const Mesh& grid() const { return grid_; }
+
+    int width() const { return grid_.width(); }
+    int height() const { return grid_.height(); }
+    int numNodes() const { return grid_.numNodes(); }
+    Coord coordOf(int node) const { return grid_.coordOf(node); }
+    int nodeId(Coord c) const { return grid_.nodeId(c); }
+
+    bool wrapX() const { return wrapX_; }
+    bool wrapY() const { return wrapY_; }
+    /** True when any dimension wraps (torus / ring). */
+    bool hasWrap() const { return wrapX_ || wrapY_; }
+
+    // --- Terminals (concentration). ---
+
+    /** Terminals (endpoint slots) per router; 1 except for cmesh. */
+    int concentration() const { return concentration_; }
+    int numTerminals() const { return numNodes() * concentration_; }
+    /** Router a terminal is attached to. */
+    int terminalRouter(int t) const { return t / concentration_; }
+    /** Intra-router index of a terminal (0..concentration-1). */
+    int terminalIndex(int t) const { return t % concentration_; }
+    /** Terminal id of slot @p k at @p router. */
+    int terminalOf(int router, int k) const
+    {
+        return router * concentration_ + k;
+    }
+
+    // --- Connectivity. ---
+
+    bool hasNeighbor(int node, Dir d) const
+    {
+        return forward(node, portOf(d)).valid()
+            && d != Dir::Local;
+    }
+
+    /** Neighboring router through @p d; -1 when the port is edge. */
+    int neighbor(int node, Dir d) const
+    {
+        return d == Dir::Local ? -1 : forward(node, portOf(d)).node;
+    }
+
+    /** Receiver of what @p node transmits on output @p port. */
+    const PortRef& forward(int node, int port) const
+    {
+        return fwd_[flat(node, port)];
+    }
+
+    /** Transmitter feeding @p node's input @p port. */
+    const PortRef& reverse(int node, int port) const
+    {
+        return rev_[flat(node, port)];
+    }
+
+    // --- Link latencies (cycles per hop, per dimension). ---
+
+    /** Latency of a link leaving through @p d (Local = endpoint). */
+    int linkLatency(Dir d) const
+    {
+        switch (d) {
+          case Dir::East:
+          case Dir::West: return latencyX_;
+          case Dir::North:
+          case Dir::South: return latencyY_;
+          case Dir::Local: break;
+        }
+        return latencyLocal_;
+    }
+
+    void setLinkLatencies(int x, int y, int local);
+
+    // --- Routing queries (wrap-aware; delegate to grid otherwise). ---
+
+    /**
+     * Minimal productive directions from @p cur to @p dest (0..2
+     * entries, E/W before N/S). On wrapped dimensions the shorter way
+     * around is chosen; exact ties break East/North.
+     */
+    int minimalDirsInto(int cur, int dest, Dir out[2]) const;
+
+    /** Minimal hop count (wrap-aware Manhattan distance). */
+    int hopDistance(int a, int b) const;
+
+    /**
+     * True when the hop leaving @p node through @p d crosses that
+     * dimension's dateline (the single wrap edge of the ring): the
+     * downstream flit must occupy a dateline-class-1 VC (see
+     * DESIGN.md §18). Always false on unwrapped dimensions.
+     */
+    bool datelineCrossing(int node, Dir d) const;
+
+  private:
+    Topology(TopologyKind kind, int width, int height, bool wrap_x,
+             bool wrap_y, int concentration);
+
+    std::size_t flat(int node, int port) const
+    {
+        return static_cast<std::size_t>(node) * kNumPorts
+            + static_cast<std::size_t>(port);
+    }
+
+    void buildPortMaps();
+
+    TopologyKind kind_;
+    Mesh grid_;
+    bool wrapX_;
+    bool wrapY_;
+    int concentration_;
+    int latencyX_ = 1;
+    int latencyY_ = 1;
+    int latencyLocal_ = 1;
+    std::vector<PortRef> fwd_;
+    std::vector<PortRef> rev_;
+};
+
+} // namespace footprint
+
+#endif // FOOTPRINT_TOPO_TOPOLOGY_HPP

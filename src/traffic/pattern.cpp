@@ -2,6 +2,7 @@
 
 #include "sim/log.hpp"
 #include "sim/rng.hpp"
+#include "topo/topology.hpp"
 
 namespace footprint {
 
@@ -15,7 +16,8 @@ UniformPattern::dest(int src, Rng& rng) const
     return d >= src ? d + 1 : d;
 }
 
-TransposePattern::TransposePattern(const Mesh& mesh) : mesh_(&mesh)
+TransposePattern::TransposePattern(const Mesh& mesh, int concentration)
+    : mesh_(&mesh), conc_(concentration)
 {
     if (mesh.width() != mesh.height())
         fatal("transpose pattern requires a square mesh");
@@ -24,13 +26,15 @@ TransposePattern::TransposePattern(const Mesh& mesh) : mesh_(&mesh)
 int
 TransposePattern::dest(int src, Rng& /*rng*/) const
 {
-    const Coord c = mesh_->coordOf(src);
-    const int d = mesh_->nodeId(Coord{c.y, c.x});
+    const int router = src / conc_;
+    const int k = src % conc_;
+    const Coord c = mesh_->coordOf(router);
+    const int d = mesh_->nodeId(Coord{c.y, c.x}) * conc_ + k;
     return d == src ? -1 : d;
 }
 
-ShufflePattern::ShufflePattern(const Mesh& mesh)
-    : numNodes_(mesh.numNodes()), bits_(0)
+ShufflePattern::ShufflePattern(const Mesh& mesh, int concentration)
+    : numNodes_(mesh.numNodes() * concentration), bits_(0)
 {
     int n = numNodes_;
     while (n > 1) {
@@ -79,6 +83,20 @@ makeTrafficPattern(const std::string& name, const Mesh& mesh)
         return std::make_unique<TransposePattern>(mesh);
     if (name == "shuffle")
         return std::make_unique<ShufflePattern>(mesh);
+    fatal("unknown traffic pattern: " + name);
+}
+
+std::unique_ptr<TrafficPattern>
+makeTrafficPattern(const std::string& name, const Topology& topo)
+{
+    const Mesh& mesh = topo.grid();
+    const int c = topo.concentration();
+    if (name == "uniform")
+        return std::make_unique<UniformPattern>(mesh, c);
+    if (name == "transpose")
+        return std::make_unique<TransposePattern>(mesh, c);
+    if (name == "shuffle")
+        return std::make_unique<ShufflePattern>(mesh, c);
     fatal("unknown traffic pattern: " + name);
 }
 

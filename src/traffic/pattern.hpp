@@ -17,11 +17,15 @@
 namespace footprint {
 
 class Rng;
+class Topology;
 
 /**
- * Maps a source node to a destination node per generated packet.
- * Returns -1 when the node generates no traffic under this pattern
- * (e.g. fixed points of transpose/shuffle).
+ * Maps a source terminal to a destination terminal per generated
+ * packet. On unconcentrated topologies terminals coincide with nodes;
+ * on a cmesh terminal t is attached to router t / c (the patterns work
+ * in terminal space so every terminal gets an independent traffic
+ * stream). Returns -1 when the terminal generates no traffic under
+ * this pattern (e.g. fixed points of transpose/shuffle).
  */
 class TrafficPattern
 {
@@ -32,16 +36,17 @@ class TrafficPattern
 
     /**
      * Pick the destination for a packet from @p src.
-     * @return destination node id, or -1 for "no traffic".
+     * @return destination terminal id, or -1 for "no traffic".
      */
     virtual int dest(int src, Rng& rng) const = 0;
 };
 
-/** Uniform random over all nodes except the source. */
+/** Uniform random over all terminals except the source. */
 class UniformPattern : public TrafficPattern
 {
   public:
-    explicit UniformPattern(const Mesh& mesh) : numNodes_(mesh.numNodes())
+    explicit UniformPattern(const Mesh& mesh, int concentration = 1)
+        : numNodes_(mesh.numNodes() * concentration)
     {}
 
     std::string name() const override { return "uniform"; }
@@ -51,27 +56,33 @@ class UniformPattern : public TrafficPattern
     int numNodes_;
 };
 
-/** Matrix transpose: (x, y) sends to (y, x); requires a square mesh. */
+/**
+ * Matrix transpose: router (x, y) sends to (y, x); requires a square
+ * mesh. Under concentration the intra-router terminal index is
+ * preserved, so terminal k of (x, y) sends to terminal k of (y, x).
+ */
 class TransposePattern : public TrafficPattern
 {
   public:
-    explicit TransposePattern(const Mesh& mesh);
+    explicit TransposePattern(const Mesh& mesh, int concentration = 1);
 
     std::string name() const override { return "transpose"; }
     int dest(int src, Rng& rng) const override;
 
   private:
     const Mesh* mesh_;
+    int conc_;
 };
 
 /**
  * Perfect shuffle: destination id is the source id rotated left by one
- * bit (in log2(N) bits); requires a power-of-two node count.
+ * bit (in log2(N) bits over terminal ids); requires a power-of-two
+ * terminal count.
  */
 class ShufflePattern : public TrafficPattern
 {
   public:
-    explicit ShufflePattern(const Mesh& mesh);
+    explicit ShufflePattern(const Mesh& mesh, int concentration = 1);
 
     std::string name() const override { return "shuffle"; }
     int dest(int src, Rng& rng) const override;
@@ -96,6 +107,13 @@ std::vector<std::pair<int, int>> defaultHotspotFlows(const Mesh& mesh);
  */
 std::unique_ptr<TrafficPattern>
 makeTrafficPattern(const std::string& name, const Mesh& mesh);
+
+/**
+ * Topology-aware overload: patterns run in terminal space, so a cmesh
+ * with concentration c gets c independent streams per router.
+ */
+std::unique_ptr<TrafficPattern>
+makeTrafficPattern(const std::string& name, const Topology& topo);
 
 } // namespace footprint
 

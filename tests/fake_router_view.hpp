@@ -14,25 +14,29 @@
 #include "routing/routing.hpp"
 #include "sim/rng.hpp"
 #include "topo/mesh.hpp"
+#include "topo/topology.hpp"
 
 namespace footprint {
 
 class FakeRouterView : public RouterView
 {
   public:
-    FakeRouterView(const Mesh& mesh, int node, int num_vcs,
+    /** View over an explicit topology (torus/ring routing tests). */
+    FakeRouterView(const Topology& topo, int node, int num_vcs,
                    int buf_size = 4)
-        : mesh_(&mesh), node_(node), numVcs_(num_vcs),
+        : topo_(topo), node_(node), numVcs_(num_vcs),
           bufSize_(buf_size), rng_(1)
     {
-        for (int p = 0; p < kNumPorts; ++p) {
-            // Default: everything idle.
-            idle_[static_cast<std::size_t>(p)] = maskOfFirst(num_vcs);
-            occupied_[static_cast<std::size_t>(p)] = 0;
-            zeroCredit_[static_cast<std::size_t>(p)] = 0;
-            owners_[static_cast<std::size_t>(p)].assign(
-                static_cast<std::size_t>(num_vcs), -1);
-        }
+        initMasks(num_vcs);
+    }
+
+    /** Mesh convenience: builds a mesh Topology of the same shape. */
+    FakeRouterView(const Mesh& mesh, int node, int num_vcs,
+                   int buf_size = 4)
+        : topo_(Topology::mesh(mesh.width(), mesh.height())),
+          node_(node), numVcs_(num_vcs), bufSize_(buf_size), rng_(1)
+    {
+        initMasks(num_vcs);
     }
 
     // --- Scripting interface ---
@@ -74,7 +78,7 @@ class FakeRouterView : public RouterView
     // --- RouterView ---
 
     int nodeId() const override { return node_; }
-    const Mesh& mesh() const override { return *mesh_; }
+    const Topology& topo() const override { return topo_; }
     int numVcs() const override { return numVcs_; }
     int vcBufSize() const override { return bufSize_; }
 
@@ -126,7 +130,20 @@ class FakeRouterView : public RouterView
     Rng& rng() const override { return rng_; }
 
   private:
-    const Mesh* mesh_;
+    void
+    initMasks(int num_vcs)
+    {
+        for (int p = 0; p < kNumPorts; ++p) {
+            // Default: everything idle.
+            idle_[static_cast<std::size_t>(p)] = maskOfFirst(num_vcs);
+            occupied_[static_cast<std::size_t>(p)] = 0;
+            zeroCredit_[static_cast<std::size_t>(p)] = 0;
+            owners_[static_cast<std::size_t>(p)].assign(
+                static_cast<std::size_t>(num_vcs), -1);
+        }
+    }
+
+    Topology topo_;
     int node_;
     int numVcs_;
     int bufSize_;

@@ -289,6 +289,42 @@ TEST(UnknownKeys, IsKnownKeyCoversNewAuditKeys)
     EXPECT_FALSE(SimConfig::isKnownKey("watchdogg"));
 }
 
+TEST(UnknownKeys, AcceptsTopologyAndShardKeys)
+{
+    // The topology-layer keys (DESIGN.md §18) must be registered:
+    // selecting a topology, concentration, per-dimension link
+    // latencies, or a shard partition policy may not trip the
+    // unknown-key warning.
+    SimConfig cfg = defaultConfig();
+    cfg.set("topology", "torus");
+    cfg.set("concentration", "4");
+    cfg.set("link_latency_x", "2");
+    cfg.set("link_latency_y", "3");
+    cfg.set("link_latency_local", "1");
+    cfg.set("shard_partition", "weighted");
+    std::ostringstream sink;
+    setLogSink(&sink);
+    EXPECT_EQ(cfg.warnUnknownKeys(), 0u);
+    setLogSink(nullptr);
+    EXPECT_TRUE(sink.str().empty());
+    // ...and near-misses still get a suggestion.
+    EXPECT_FALSE(SimConfig::isKnownKey("topolgy"));
+    EXPECT_FALSE(SimConfig::isKnownKey("link_latency_z"));
+}
+
+TEST(DefaultConfig, TopologyDefaultsToUnconcentratedMesh)
+{
+    const SimConfig cfg = defaultConfig();
+    EXPECT_EQ(cfg.getStr("topology"), "mesh");
+    EXPECT_EQ(cfg.getInt("concentration"), 1);
+    EXPECT_EQ(cfg.getStr("shard_partition"), "weighted");
+    // The per-dimension overrides are deliberately not defaulted:
+    // Topology::fromConfig falls back to link_latency when absent.
+    EXPECT_FALSE(cfg.contains("link_latency_x"));
+    EXPECT_FALSE(cfg.contains("link_latency_y"));
+    EXPECT_FALSE(cfg.contains("link_latency_local"));
+}
+
 TEST(UnknownKeys, AcceptsProfilerAndHeatmapKeys)
 {
     // The profile_* / heatmap_* observability keys (DESIGN.md §14)

@@ -164,8 +164,22 @@ TEST(Mesh, NumMinimalPathsKnownValues)
 
 TEST(Mesh, TooSmallMeshIsFatal)
 {
-    EXPECT_EXIT(Mesh(1, 4), testing::ExitedWithCode(1),
-                "at least 2x2");
+    EXPECT_EXIT(Mesh(1, 1), testing::ExitedWithCode(1),
+                "at least 2 nodes");
+}
+
+TEST(Mesh, OneDimensionalGridsAreLegal)
+{
+    // N x 1 grids back the ring topology.
+    const Mesh row(4, 1);
+    EXPECT_EQ(row.numNodes(), 4);
+    EXPECT_TRUE(row.hasNeighbor(0, Dir::East));
+    EXPECT_FALSE(row.hasNeighbor(0, Dir::North));
+    EXPECT_FALSE(row.hasNeighbor(3, Dir::East));
+    const Mesh col(1, 3);
+    EXPECT_EQ(col.numNodes(), 3);
+    EXPECT_TRUE(col.hasNeighbor(0, Dir::North));
+    EXPECT_FALSE(col.hasNeighbor(0, Dir::East));
 }
 
 class MeshSizeTest : public testing::TestWithParam<std::pair<int, int>>

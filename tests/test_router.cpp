@@ -30,14 +30,14 @@ class RouterHarness
   public:
     RouterHarness(const RoutingAlgorithm* routing, int num_vcs = 4,
                   int buf_size = 4, int speedup = 2)
-        : mesh(4, 4)
+        : topo(Topology::mesh(4, 4))
     {
         RouterParams params;
         params.numVcs = num_vcs;
         params.vcBufSize = buf_size;
         params.internalSpeedup = speedup;
-        router = std::make_unique<Router>(mesh, 5, params, routing, 1,
-                                          nullptr);
+        router = std::make_unique<Router>(topo, 5, params, routing,
+                                          1, nullptr);
         for (int p = 0; p < kNumPorts; ++p) {
             in[p] = std::make_unique<FlitChannel>(1);
             inCredit[p] = std::make_unique<CreditChannel>(1);
@@ -90,7 +90,7 @@ class RouterHarness
         return credits;
     }
 
-    Mesh mesh;
+    Topology topo;
     std::unique_ptr<Router> router;
     std::unique_ptr<FlitChannel> in[kNumPorts];
     std::unique_ptr<CreditChannel> inCredit[kNumPorts];

@@ -202,6 +202,12 @@ MICRO_RESULT_FIELDS = {
     "checksum": str,
 }
 
+# Row fields that newer producers emit but older artifacts may lack;
+# validated for type when present.
+MICRO_OPTIONAL_FIELDS = {
+    "topology": str,
+}
+
 
 def warn_build_type(path: str, doc: dict, base_path: str | None,
                     base_doc: dict | None) -> None:
@@ -288,6 +294,70 @@ def print_thread_scaling(doc: dict) -> None:
         )
 
 
+def thread_efficiency(doc: dict,
+                      min_t8_speedup: float | None) -> list[str]:
+    """Report parallel efficiency of sharded rows against their @t1 row.
+
+    For every sharded row with threads > 1 (skip-ahead rows excluded —
+    their wall clock measures the fast path, not the worker pool), the
+    reference is the same config's single-thread sharded row ('@t1'):
+    speedup = cycles/sec over the @t1 row, efficiency = speedup /
+    threads. Efficiency below 0.5 earns a stderr warning; with
+    --min-t8-speedup set, an 8-thread row whose speedup falls short is
+    a returned failure. Single-core machines should leave the gate
+    unset — there is no parallelism to measure.
+    """
+    t1 = {
+        micro_group(e["name"]): e
+        for e in doc["results"]
+        if e["mode"] == "sharded"
+        and e["threads"] == 1
+        and not e["name"].endswith("skip")
+    }
+    rows = [
+        e for e in doc["results"]
+        if e["mode"] == "sharded"
+        and e["threads"] > 1
+        and not e["name"].endswith("skip")
+    ]
+    failures: list[str] = []
+    if not rows:
+        return failures
+    print(
+        f"\n{'config':>22} {'topology':>8} {'threads':>7} "
+        f"{'c/s':>10} {'vs @t1':>7} {'eff':>6}"
+    )
+    for e in rows:
+        group = micro_group(e["name"])
+        ref = t1.get(group)
+        ref_cps = ref["cycles_per_sec"] if ref else 0.0
+        speedup = e["cycles_per_sec"] / ref_cps if ref_cps else 0.0
+        eff = speedup / e["threads"]
+        print(
+            f"{group:>22} {e.get('topology', '-'):>8} "
+            f"{e['threads']:>7} {e['cycles_per_sec']:>10.0f} "
+            f"{speedup:>6.2f}x {eff:>6.2f}"
+        )
+        if ref_cps and eff < 0.5:
+            print(
+                f"WARNING: {e['name']}: parallel efficiency "
+                f"{eff:.2f} below 0.5 ({speedup:.2f}x on "
+                f"{e['threads']} threads)",
+                file=sys.stderr,
+            )
+        if (
+            min_t8_speedup is not None
+            and e["threads"] == 8
+            and ref_cps
+            and speedup < min_t8_speedup
+        ):
+            failures.append(
+                f"{e['name']}: speedup {speedup:.2f}x over @t1 is "
+                f"below --min-t8-speedup {min_t8_speedup:.2f}x"
+            )
+    return failures
+
+
 def validate_micro(path: str, doc: dict) -> None:
     """Validate a micro_cycle document (kind=micro_cycle)."""
     if doc.get("schema") != SCHEMA:
@@ -304,6 +374,10 @@ def validate_micro(path: str, doc: dict) -> None:
         fail(f"{path}: results is empty")
     for i, entry in enumerate(doc["results"]):
         check_fields(path, f"results[{i}]", entry, MICRO_RESULT_FIELDS)
+        present = {
+            k: t for k, t in MICRO_OPTIONAL_FIELDS.items() if k in entry
+        }
+        check_fields(path, f"results[{i}]", entry, present)
     names = [e["name"] for e in doc["results"]]
     if len(set(names)) != len(names):
         fail(f"{path}: result names are not unique")
@@ -318,8 +392,13 @@ def micro_mode(args: argparse.Namespace) -> None:
     validate_micro(args.micro, doc)
     check_thread_determinism(args.micro, doc)
     print_thread_scaling(doc)
+    scaling_failures = thread_efficiency(doc, args.min_t8_speedup)
     if args.baseline is None:
         warn_build_type(args.micro, doc, None, None)
+        if scaling_failures:
+            for msg in scaling_failures:
+                print(f"FAIL: {msg}", file=sys.stderr)
+            sys.exit(1)
         return
 
     base_doc = load(args.baseline)
@@ -343,7 +422,7 @@ def micro_mode(args: argparse.Namespace) -> None:
         f"\n{'config':>18} {'baseline c/s':>13} {'current c/s':>12} "
         f"{'change':>8}  checksum"
     )
-    failures = []
+    failures = list(scaling_failures)
     for name in sorted(base):
         ref = base[name]
         now = cur[name]
@@ -488,6 +567,15 @@ def main() -> None:
         type=float,
         default=20.0,
         help="max allowed jobs/sec regression in percent (default 20)",
+    )
+    parser.add_argument(
+        "--min-t8-speedup",
+        type=float,
+        default=None,
+        help="micro mode: fail when an 8-thread sharded row's speedup "
+        "over its single-thread sharded row falls below this factor; "
+        "leave unset on single-core machines (no parallelism to "
+        "measure)",
     )
     parser.add_argument(
         "--compare",
